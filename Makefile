@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (trimmed grid; add FULL=1 for the
+# paper's full Sec. V-B grid).
+experiments:
+	$(GO) run ./cmd/experiments -run all $(if $(FULL),-full,) -csv artifacts
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/credit
+	$(GO) run ./examples/hiring
+	$(GO) run ./examples/postprocess
+	$(GO) run ./examples/audit
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf artifacts test_output.txt bench_output.txt

@@ -1,0 +1,371 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design choices called out in
+// DESIGN.md. Each experiment benchmark regenerates its artefact at reduced
+// scale and reports the headline measurement via b.ReportMetric; the full
+// printed tables come from cmd/experiments.
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ifair"
+	"repro/internal/mat"
+	"repro/internal/pipeline"
+)
+
+// benchCfg is a reduced-scale study configuration so a single benchmark
+// iteration stays in the seconds range.
+func benchCfg() pipeline.StudyConfig {
+	return pipeline.StudyConfig{
+		Seed:          1,
+		Mixture:       []float64{1, 10},
+		K:             []int{8},
+		Restarts:      1,
+		MaxIterations: 40,
+		L2:            0.01,
+		TrainFrac:     0.34,
+		ValFrac:       0.33,
+	}
+}
+
+func benchCompas() *dataset.Dataset {
+	return dataset.Compas(dataset.ClassificationConfig{Records: 600, Seed: 1})
+}
+
+func benchXing() *dataset.Dataset {
+	return dataset.Xing(dataset.UniformXingWeights,
+		dataset.RankingConfig{Queries: 18, CandidatesPerQuery: 40, Seed: 1})
+}
+
+// BenchmarkTable2DatasetStats regenerates the Table II statistics for all
+// five simulated datasets.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ds := range []*dataset.Dataset{
+			dataset.Compas(dataset.ClassificationConfig{Records: 600, Seed: 1}),
+			dataset.Census(dataset.ClassificationConfig{Records: 600, Seed: 1}),
+			dataset.Credit(dataset.ClassificationConfig{Seed: 1}),
+			dataset.Xing(dataset.UniformXingWeights, dataset.RankingConfig{Seed: 1}),
+			dataset.Airbnb(dataset.RankingConfig{Seed: 1}),
+		} {
+			_ = ds.Summary()
+		}
+	}
+}
+
+// BenchmarkFig2Properties regenerates the synthetic properties study
+// (Fig. 2): three data variants × {original, iFair, LFR}.
+func BenchmarkFig2Properties(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxIterations = 25
+	b.ResetTimer()
+	var lastYNN float64
+	for i := 0; i < b.N; i++ {
+		cells, err := pipeline.Fig2Study(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Method == "iFair" {
+				lastYNN = c.YNN
+			}
+		}
+	}
+	b.ReportMetric(lastYNN, "iFair_yNN")
+}
+
+// BenchmarkFig3Tradeoff regenerates the utility/fairness point cloud and
+// Pareto fronts of Fig. 3 per classification dataset.
+func BenchmarkFig3Tradeoff(b *testing.B) {
+	for _, gen := range []struct {
+		name string
+		ds   func() *dataset.Dataset
+	}{
+		{"Compas", func() *dataset.Dataset { return dataset.Compas(dataset.ClassificationConfig{Records: 600, Seed: 1}) }},
+		{"Census", func() *dataset.Dataset { return dataset.Census(dataset.ClassificationConfig{Records: 600, Seed: 1}) }},
+		{"Credit", func() *dataset.Dataset { return dataset.Credit(dataset.ClassificationConfig{Records: 400, Seed: 1}) }},
+	} {
+		b.Run(gen.name, func(b *testing.B) {
+			ds := gen.ds()
+			cfg := benchCfg()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := pipeline.TradeoffStudy(ds, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fronts := pipeline.ParetoByMethod(results)
+				if len(fronts) == 0 {
+					b.Fatal("no Pareto fronts produced")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Classification regenerates the Table III rows (three
+// tuning criteria × methods) on the COMPAS simulation.
+func BenchmarkTable3Classification(b *testing.B) {
+	ds := benchCompas()
+	cfg := benchCfg()
+	b.ResetTimer()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := pipeline.Table3(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// headline: iFair-b consistency minus Full-Data consistency under
+		// the Optimal criterion (the paper's central claim).
+		var full, ifairB float64
+		for _, r := range rows {
+			if r.Result.Method == "Full Data" {
+				full = r.Result.YNN
+			}
+			if r.Result.Method == "iFair-b" && r.Criterion == pipeline.Optimal {
+				ifairB = r.Result.YNN
+			}
+		}
+		gap = ifairB - full
+	}
+	b.ReportMetric(gap, "yNN_gain")
+}
+
+// BenchmarkTable4WeightSensitivity regenerates the Xing weight-sensitivity
+// rows of Table IV.
+func BenchmarkTable4WeightSensitivity(b *testing.B) {
+	cfg := benchCfg()
+	weights := []dataset.XingWeights{
+		{Work: 0.25, Education: 0.75, Views: 0},
+		{Work: 1, Education: 1, Views: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Table4(cfg, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Ranking regenerates the ranking-task comparison of
+// Table V on the Xing simulation, including both FA*IR operating points.
+func BenchmarkTable5Ranking(b *testing.B) {
+	ds := benchXing()
+	cfg := benchCfg()
+	b.ResetTimer()
+	var ynn float64
+	for i := 0; i < b.N; i++ {
+		results, err := pipeline.Table5(ds, cfg, []float64{0.5, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Method == "iFair-b" {
+				ynn = r.YNN
+			}
+		}
+	}
+	b.ReportMetric(ynn, "iFair_yNN")
+}
+
+// BenchmarkFig4Adversarial regenerates the protected-attribute obfuscation
+// study of Fig. 4 on the COMPAS simulation.
+func BenchmarkFig4Adversarial(b *testing.B) {
+	ds := benchCompas()
+	cfg := benchCfg()
+	b.ResetTimer()
+	var advAcc float64
+	for i := 0; i < b.N; i++ {
+		cells, err := pipeline.AdversarialStudy(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Method == "iFair-b" {
+				advAcc = c.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(advAcc, "adv_acc")
+}
+
+// BenchmarkFig5PostProcess regenerates the FA*IR-on-iFair sweep of Fig. 5
+// on the Xing simulation.
+func BenchmarkFig5PostProcess(b *testing.B) {
+	ds := benchXing()
+	cfg := benchCfg()
+	ps := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := pipeline.PostProcessStudy(ds, cfg, ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != len(ps) {
+			b.Fatal("missing sweep points")
+		}
+	}
+}
+
+// ---- ablation benches (design choices from DESIGN.md) ----
+
+func ablationData(m int) *mat.Dense {
+	ds := dataset.Credit(dataset.ClassificationConfig{Records: m, Seed: 1})
+	return ds.X
+}
+
+// BenchmarkAblationFairnessLoss compares the exact O(M²) pairwise fairness
+// loss against the sampled O(M·S) approximation.
+func BenchmarkAblationFairnessLoss(b *testing.B) {
+	x := ablationData(300)
+	for _, mode := range []struct {
+		name string
+		f    ifair.FairnessMode
+	}{{"Pairwise", ifair.PairwiseFairness}, {"Sampled", ifair.SampledFairness}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ifair.Fit(x, ifair.Options{
+					K: 8, Lambda: 1, Mu: 1, Fairness: mode.f,
+					MaxIterations: 20, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGradient compares the analytic-gradient training path
+// against the finite-difference path at identical problem size.
+func BenchmarkAblationGradient(b *testing.B) {
+	x := ablationData(60)
+	for _, mode := range []struct {
+		name    string
+		numeric bool
+	}{{"Analytic", false}, {"Numeric", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ifair.Fit(x, ifair.Options{
+					K: 3, Lambda: 1, Mu: 1,
+					ForceNumericalGradient: mode.numeric,
+					Fairness:               ifair.SampledFairness, PairSamples: 4,
+					MaxIterations: 5, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKernel compares the paper's exponential kernel against
+// the heavy-tailed inverse kernel (the paper's future-work direction).
+func BenchmarkAblationKernel(b *testing.B) {
+	x := ablationData(300)
+	for _, mode := range []struct {
+		name   string
+		kernel ifair.Kernel
+	}{{"Exp", ifair.ExpKernel}, {"Inverse", ifair.InverseKernel}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				model, err := ifair.Fit(x, ifair.Options{
+					K: 8, Lambda: 1, Mu: 1, Kernel: mode.kernel,
+					Fairness: ifair.SampledFairness, MaxIterations: 20, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = model.Loss
+			}
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
+// BenchmarkAblationPrototypeCount sweeps K, the latent dimensionality.
+func BenchmarkAblationPrototypeCount(b *testing.B) {
+	x := ablationData(300)
+	for _, k := range []int{5, 10, 20, 40} {
+		b.Run(benchName("K", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ifair.Fit(x, ifair.Options{
+					K: k, Lambda: 1, Mu: 1, Fairness: ifair.SampledFairness,
+					MaxIterations: 20, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRestarts measures the cost/benefit of the best-of-N
+// restart protocol of Sec. V-B.
+func BenchmarkAblationRestarts(b *testing.B) {
+	x := ablationData(300)
+	for _, r := range []int{1, 3} {
+		b.Run(benchName("Restarts", r), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				model, err := ifair.Fit(x, ifair.Options{
+					K: 8, Lambda: 1, Mu: 1, Fairness: ifair.SampledFairness,
+					MaxIterations: 20, Restarts: r, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = model.Loss
+			}
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizer compares L-BFGS against plain gradient
+// descent on the iFair objective (Eq. 10).
+func BenchmarkAblationOptimizer(b *testing.B) {
+	x := ablationData(300)
+	for _, mode := range []struct {
+		name string
+		gd   bool
+	}{{"LBFGS", false}, {"GradientDescent", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				model, err := ifair.Fit(x, ifair.Options{
+					K: 8, Lambda: 1, Mu: 1, Fairness: ifair.SampledFairness,
+					MaxIterations: 40, UseGradientDescent: mode.gd, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = model.Loss
+			}
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
+// BenchmarkTransform measures the pure inference cost of mapping records
+// through a fitted model (the hot path for deployed pipelines).
+func BenchmarkTransform(b *testing.B) {
+	x := ablationData(300)
+	model, err := ifair.Fit(x, ifair.Options{
+		K: 10, Lambda: 1, Mu: 1, Fairness: ifair.SampledFairness,
+		MaxIterations: 20, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Transform(x)
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,235 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	Lahoti, Gummadi, Weikum: "iFair: Learning Individually Fair Data
+//	Representations for Algorithmic Decision Making", ICDE 2019.
+//
+// The root package is the public facade: it re-exports the iFair learner,
+// the baselines it is evaluated against (LFR, FA*IR, SVD), the dataset
+// simulators and the evaluation metrics, so downstream users never import
+// internal packages. See README.md for a quickstart, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package repro
+
+import (
+	"repro/internal/adversarial"
+	"repro/internal/dataset"
+	"repro/internal/fairrank"
+	"repro/internal/ifair"
+	"repro/internal/knn"
+	"repro/internal/lfr"
+	"repro/internal/linmodel"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+)
+
+// Matrix is the dense row-major matrix type used for all data.
+type Matrix = mat.Dense
+
+// NewMatrix returns a rows×cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix { return mat.NewDense(rows, cols) }
+
+// MatrixFromRows builds a matrix from row slices, copying them.
+func MatrixFromRows(rows [][]float64) *Matrix { return mat.FromRows(rows) }
+
+// ---- the paper's core contribution ----
+
+// Model is a fitted iFair representation (prototypes + attribute weights).
+type Model = ifair.Model
+
+// Options configures Fit.
+type Options = ifair.Options
+
+// Initialisation variants of Sec. V-B.
+const (
+	// IFairA initialises all attribute weights randomly (iFair-a).
+	IFairA = ifair.InitRandom
+	// IFairB initialises protected attribute weights near zero (iFair-b).
+	IFairB = ifair.InitMaskedProtected
+)
+
+// Fairness-loss pairing strategies.
+const (
+	// PairwiseFairness evaluates Def. 5 over all record pairs.
+	PairwiseFairness = ifair.PairwiseFairness
+	// SampledFairness pairs each record with a sample of partners.
+	SampledFairness = ifair.SampledFairness
+)
+
+// Membership kernels (the paper's Def. 8 default plus the heavy-tailed
+// alternative from its future-work direction).
+const (
+	// ExpKernel weights prototypes as exp(−d) — the paper's softmax.
+	ExpKernel = ifair.ExpKernel
+	// InverseKernel weights prototypes as 1/(1+d).
+	InverseKernel = ifair.InverseKernel
+)
+
+// Fit learns an individually fair representation of x.
+func Fit(x *Matrix, opts Options) (*Model, error) { return ifair.Fit(x, opts) }
+
+// DecodeModel reads a model previously serialised with Model.Encode.
+var DecodeModel = ifair.DecodeModel
+
+// ---- baselines ----
+
+// LFRModel is the Learning Fair Representations baseline of Zemel et al.
+type LFRModel = lfr.Model
+
+// LFROptions configures FitLFR.
+type LFROptions = lfr.Options
+
+// FitLFR trains the LFR baseline.
+func FitLFR(x *Matrix, y, protected []bool, opts LFROptions) (*LFRModel, error) {
+	return lfr.Fit(x, y, protected, opts)
+}
+
+// CensoredModel is the censored-representation baseline from the paper's
+// Related Work (refs [9], [22]): iterative null-space projection that
+// strips linearly recoverable protected information.
+type CensoredModel = adversarial.Model
+
+// CensoredOptions configures FitCensored.
+type CensoredOptions = adversarial.Options
+
+// FitCensored trains the censoring projection.
+func FitCensored(x *Matrix, protected []bool, opts CensoredOptions) (*CensoredModel, error) {
+	return adversarial.Fit(x, protected, opts)
+}
+
+// FairRanking is the output of the FA*IR re-ranking baseline.
+type FairRanking = fairrank.Result
+
+// FairReRank applies the FA*IR algorithm of Zehlike et al. with target
+// proportion p and significance alpha, returning a fair permutation plus
+// interpolated fair scores.
+func FairReRank(scores []float64, protected []bool, k int, p, alpha float64) (*FairRanking, error) {
+	return fairrank.ReRank(scores, protected, k, p, alpha)
+}
+
+// FairReRankAdjusted is FairReRank with the multiple-testing correction of
+// Zehlike et al.: the prefix tests run at the corrected significance αc so
+// the family-wise error stays at alpha.
+func FairReRankAdjusted(scores []float64, protected []bool, k int, p, alpha float64) (*FairRanking, error) {
+	return fairrank.ReRankAdjusted(scores, protected, k, p, alpha)
+}
+
+// ---- datasets ----
+
+// Dataset is an encoded, standardised dataset with fairness metadata.
+type Dataset = dataset.Dataset
+
+// ClassificationConfig and RankingConfig size the dataset simulators.
+type (
+	ClassificationConfig = dataset.ClassificationConfig
+	RankingConfig        = dataset.RankingConfig
+)
+
+// XingWeights are the ranking-score weights of Sec. V-A / Table IV.
+type XingWeights = dataset.XingWeights
+
+// Dataset simulators standing in for the paper's five real datasets (see
+// DESIGN.md for the substitution rationale).
+var (
+	Compas = dataset.Compas
+	Census = dataset.Census
+	Credit = dataset.Credit
+	Airbnb = dataset.Airbnb
+	Xing   = dataset.Xing
+)
+
+// SyntheticMixture generates the Sec. IV synthetic study data.
+var SyntheticMixture = dataset.SyntheticMixture
+
+// Mixture variants of the Sec. IV study.
+const (
+	VariantRandom       = dataset.VariantRandom
+	VariantCorrelatedX1 = dataset.VariantCorrelatedX1
+	VariantCorrelatedX2 = dataset.VariantCorrelatedX2
+)
+
+// ThreeWaySplit partitions record indices into train/validation/test.
+var ThreeWaySplit = dataset.ThreeWaySplit
+
+// CSVSchema describes how LoadCSV interprets a user-supplied CSV file.
+type CSVSchema = dataset.CSVSchema
+
+// LoadCSV reads a numeric CSV with a header row into a Dataset, applying
+// the same unit-variance standardisation as the built-in simulators.
+var LoadCSV = dataset.LoadCSV
+
+// Task kinds for CSVSchema.
+const (
+	ClassificationTask = dataset.Classification
+	RankingTask        = dataset.Ranking
+)
+
+// ---- downstream models ----
+
+// LogisticModel is the standard classifier of the evaluation (Sec. V-B).
+type LogisticModel = linmodel.Logistic
+
+// LinearModel is the learning-to-rank regression model of the evaluation.
+type LinearModel = linmodel.Linear
+
+// FitLogistic trains an L2-regularised logistic-regression classifier.
+var FitLogistic = linmodel.FitLogistic
+
+// FitLinear trains a ridge-regularised linear regression.
+var FitLinear = linmodel.FitLinear
+
+// NeighbourIndex is an exact k-nearest-neighbour index over matrix rows,
+// used to compute the consistency metric's neighbour sets.
+type NeighbourIndex = knn.Index
+
+// NewNeighbourIndex builds an index over the rows of x.
+var NewNeighbourIndex = knn.NewIndex
+
+// KDTree is an exact k-d tree alternative to NeighbourIndex with
+// logarithmic query time; it returns identical neighbour lists.
+type KDTree = knn.KDTree
+
+// NewKDTree builds a k-d tree over the rows of x.
+var NewKDTree = knn.NewKDTree
+
+// ---- metrics ----
+
+// Evaluation measures of Sec. V-C.
+var (
+	Accuracy          = metrics.Accuracy
+	AUC               = metrics.AUC
+	Consistency       = metrics.Consistency
+	StatisticalParity = metrics.StatisticalParity
+	EqualOpportunity  = metrics.EqualOpportunity
+	KendallTau        = metrics.KendallTau
+	MeanAvgPrecision  = metrics.MeanAveragePrecision
+	NDCGAtK           = metrics.NDCGAtK
+	RankDescending    = metrics.RankDescending
+)
+
+// AuditResult summarises an empirical audit of the individual-fairness ε
+// of Definition 1.
+type AuditResult = metrics.AuditResult
+
+// LipschitzAudit measures how far a transformation strays from preserving
+// task-relevant pairwise distances; MaxViolation is the ε of Def. 1.
+var LipschitzAudit = metrics.LipschitzAudit
+
+// ---- experiment harness ----
+
+// StudyConfig controls the experiment harness grids.
+type StudyConfig = pipeline.StudyConfig
+
+// PaperStudyConfig returns the full Sec. V-B grid.
+var PaperStudyConfig = pipeline.PaperStudyConfig
+
+// Studies reproducing the paper's tables and figures.
+var (
+	Fig2Study        = pipeline.Fig2Study
+	TradeoffStudy    = pipeline.TradeoffStudy
+	Table3           = pipeline.Table3
+	Table4           = pipeline.Table4
+	Table5           = pipeline.Table5
+	AdversarialStudy = pipeline.AdversarialStudy
+	PostProcessStudy = pipeline.PostProcessStudy
+)

@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly the way the README
+// quickstart does: simulate data, learn a representation, transform,
+// measure.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 300, Seed: 1})
+	model, err := Fit(ds.X, Options{
+		K:         5,
+		Lambda:    1,
+		Mu:        1,
+		Protected: ds.ProtectedCols,
+		Init:      IFairB,
+		Fairness:  SampledFairness,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt := model.Transform(ds.X)
+	if r, c := xt.Dims(); r != ds.Rows() || c != ds.Cols() {
+		t.Fatalf("transform dims %d×%d", r, c)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ds := Compas(ClassificationConfig{Records: 200, Seed: 2})
+	lfrModel, err := FitLFR(ds.X, ds.Label, ds.Protected, LFROptions{K: 4, Az: 1, Ax: 1, Ay: 1, MaxIterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lfrModel.Transform(ds.X).Rows(); got != 200 {
+		t.Fatalf("LFR transform rows = %d", got)
+	}
+
+	rr, err := FairReRank([]float64{0.9, 0.4, 0.7}, []bool{false, true, false}, 0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Ranking) != 3 {
+		t.Fatalf("ranking length %d", len(rr.Ranking))
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if got := Accuracy([]float64{0.9, 0.1}, []bool{true, false}); got != 1 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := KendallTau([]float64{1, 2, 3}, []float64{1, 2, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("KendallTau = %v", got)
+	}
+}
+
+func TestFacadeSplitAndMatrix(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 1) != 4 {
+		t.Fatal("MatrixFromRows broken")
+	}
+	if NewMatrix(2, 3).Cols() != 3 {
+		t.Fatal("NewMatrix broken")
+	}
+	s, err := ThreeWaySplit(30, 0.5, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train)+len(s.Validation)+len(s.Test) != 30 {
+		t.Fatal("split does not partition")
+	}
+}
+
+func TestFacadeSerializationRoundTrip(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 120, Seed: 4})
+	model, err := Fit(ds.X, Options{K: 3, Lambda: 1, Mu: 1, Protected: ds.ProtectedCols, Seed: 1, MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodeModel(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := model.TransformRow(ds.X.Row(0))
+	b := loaded.TransformRow(ds.X.Row(0))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded model transforms differently")
+		}
+	}
+}
+
+func TestFacadeKDTreeMatchesIndex(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 80, Seed: 5})
+	tree := NewKDTree(ds.X)
+	brute := NewNeighbourIndex(ds.X)
+	for i := 0; i < 10; i++ {
+		a := tree.Neighbors(i, 5)
+		b := brute.Neighbors(i, 5)
+		for j := range b {
+			if a[j] != b[j] {
+				t.Fatal("KD-tree neighbours differ from brute force")
+			}
+		}
+	}
+}
+
+func TestFacadeLipschitzAudit(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 60, Seed: 6})
+	res := LipschitzAudit(ds.X, ds.X, nil)
+	if res.MaxViolation != 0 {
+		t.Fatalf("identity audit epsilon = %v, want 0", res.MaxViolation)
+	}
+}
+
+func TestFacadeKernelConstants(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 80, Seed: 7})
+	model, err := Fit(ds.X, Options{K: 3, Lambda: 1, Mu: 1, Kernel: InverseKernel, Seed: 1, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Kernel != InverseKernel {
+		t.Fatal("kernel option not honoured")
+	}
+	if ExpKernel == InverseKernel {
+		t.Fatal("kernel constants must differ")
+	}
+}
+
+func TestFacadeSyntheticAndStudyTypes(t *testing.T) {
+	ds := SyntheticMixture(VariantCorrelatedX2, 60, 3)
+	if ds.Rows() != 60 {
+		t.Fatal("synthetic size wrong")
+	}
+	cfg := PaperStudyConfig(1)
+	if len(cfg.Mixture) != 6 || len(cfg.K) != 3 || cfg.Restarts != 3 {
+		t.Fatalf("PaperStudyConfig = %+v does not match Sec. V-B", cfg)
+	}
+}

@@ -1,0 +1,328 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ClassificationConfig sizes the simulated classification datasets. The
+// zero value picks per-dataset defaults that scale the paper's record
+// counts down to laptop-friendly sizes while keeping every statistical
+// property the experiments exercise.
+type ClassificationConfig struct {
+	// Records overrides the number of generated records.
+	Records int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// labelsFromRisk assigns binary labels so each group's positive rate
+// matches the paper's base rates exactly (up to integer rounding): within
+// each group, the records with the highest latent risk are labelled
+// positive.
+func labelsFromRisk(risk []float64, protected []bool, rateProt, rateUnprot float64) []bool {
+	label := make([]bool, len(risk))
+	assign := func(group bool, rate float64) {
+		var idx []int
+		for i, p := range protected {
+			if p == group {
+				idx = append(idx, i)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return risk[idx[a]] > risk[idx[b]] })
+		nPos := int(math.Round(rate * float64(len(idx))))
+		for r := 0; r < nPos && r < len(idx); r++ {
+			label[idx[r]] = true
+		}
+	}
+	assign(true, rateProt)
+	assign(false, rateUnprot)
+	return label
+}
+
+func buildClassification(name string, enc Encoder, records []Record, protected []bool, risk []float64, rateProt, rateUnprot float64) *Dataset {
+	x, protCols, names, err := enc.Encode(records)
+	if err != nil {
+		// Generators control their own records; an encoding failure is a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("dataset %s: %v", name, err))
+	}
+	return &Dataset{
+		Name:          name,
+		Task:          Classification,
+		X:             x,
+		Label:         labelsFromRisk(risk, protected, rateProt, rateUnprot),
+		Protected:     protected,
+		ProtectedCols: protCols,
+		FeatureNames:  names,
+	}
+}
+
+// Compas simulates the ProPublica COMPAS recidivism dataset: race as the
+// protected attribute, recidivism as the outcome, base rates 0.52
+// (protected) and 0.40 (unprotected) as in Table II. Race leaks through
+// correlated features (priors count, charge degree, age), which is what the
+// masking and adversarial experiments require. Default size 2000 records
+// (paper: 6901).
+func Compas(cfg ClassificationConfig) *Dataset {
+	m := cfg.Records
+	if m <= 0 {
+		m = 2000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// A fine-grained charge code pushes the one-hot dimensionality toward
+	// the paper's 431 columns (high-dimensional sparse encoding is what
+	// makes COMPAS "the most difficult of the three datasets" in Fig. 3).
+	chargeCodes := make([]string, 24)
+	for i := range chargeCodes {
+		chargeCodes[i] = fmt.Sprintf("c%02d", i)
+	}
+	enc := Encoder{Specs: []FeatureSpec{
+		{Name: "age"},
+		{Name: "priors_count"},
+		{Name: "juvenile_felonies"},
+		{Name: "charge_degree", Levels: []string{"felony", "misdemeanor"}},
+		{Name: "charge_category", Levels: []string{"drug", "theft", "assault", "traffic", "other"}},
+		{Name: "charge_code", Levels: chargeCodes},
+		{Name: "sex", Levels: []string{"male", "female"}},
+		{Name: "race_minority", Protected: true},
+	}}
+
+	records := make([]Record, m)
+	protected := make([]bool, m)
+	risk := make([]float64, m)
+	charges := []string{"drug", "theft", "assault", "traffic", "other"}
+	for i := 0; i < m; i++ {
+		minority := rng.Float64() < 0.45
+		protected[i] = minority
+
+		age := 18 + rng.ExpFloat64()*10
+		if age > 70 {
+			age = 70
+		}
+		// Priors correlate with minority status (the leakage channel).
+		lambda := 1.5
+		if minority {
+			lambda = 3.0
+		}
+		priors := poisson(rng, lambda)
+		juv := poisson(rng, 0.3)
+
+		degree := "misdemeanor"
+		pFelony := 0.3
+		if minority {
+			pFelony = 0.45
+		}
+		if rng.Float64() < pFelony {
+			degree = "felony"
+		}
+		charge := charges[rng.Intn(len(charges))]
+		sex := "male"
+		if rng.Float64() < 0.2 {
+			sex = "female"
+		}
+
+		prot := 0.0
+		if minority {
+			prot = 1
+		}
+		records[i] = Record{
+			Num: map[string]float64{
+				"age":               age,
+				"priors_count":      float64(priors),
+				"juvenile_felonies": float64(juv),
+				"race_minority":     prot,
+			},
+			Cat: map[string]string{
+				"charge_degree":   degree,
+				"charge_category": charge,
+				"charge_code":     chargeCodes[rng.Intn(len(chargeCodes))],
+				"sex":             sex,
+			},
+		}
+		// Latent recidivism risk: young age and many priors raise it.
+		risk[i] = 0.08*float64(priors) + 0.5*float64(juv) - 0.03*(age-18) + rng.NormFloat64()*0.8
+		if degree == "felony" {
+			risk[i] += 0.2
+		}
+	}
+	return buildClassification("compas", enc, records, protected, risk, 0.52, 0.40)
+}
+
+// Census simulates the UCI Census Income (Adult) dataset: gender as the
+// protected attribute, income > 50K as the outcome, base rates 0.12
+// (protected = female) and 0.31 as in Table II. Gender leaks through
+// occupation, hours and capital gain. Default size 3000 records (paper:
+// 48842).
+func Census(cfg ClassificationConfig) *Dataset {
+	m := cfg.Records
+	if m <= 0 {
+		m = 3000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	occupations := []string{"managerial", "professional", "clerical", "service", "manual", "sales"}
+	workclasses := []string{"private", "government", "self-employed", "other"}
+	maritals := []string{"married", "never", "divorced", "widowed", "separated"}
+	educations := []string{"dropout", "highschool", "some-college", "associate", "bachelor", "master", "doctorate"}
+	enc := Encoder{Specs: []FeatureSpec{
+		{Name: "age"},
+		{Name: "education_years"},
+		{Name: "hours_per_week"},
+		{Name: "capital_gain"},
+		{Name: "occupation", Levels: occupations},
+		{Name: "workclass", Levels: workclasses},
+		{Name: "marital", Levels: maritals},
+		{Name: "education_level", Levels: educations},
+		{Name: "female", Protected: true},
+	}}
+
+	records := make([]Record, m)
+	protected := make([]bool, m)
+	risk := make([]float64, m)
+	for i := 0; i < m; i++ {
+		female := rng.Float64() < 0.33
+		protected[i] = female
+
+		age := 17 + rng.Float64()*53
+		edu := 6 + rng.Float64()*12
+		hours := 40 + rng.NormFloat64()*10
+		if female {
+			hours -= 6 // leakage: hours distribution differs by gender
+		}
+		if hours < 5 {
+			hours = 5
+		}
+		gain := 0.0
+		if rng.Float64() < 0.08 {
+			gain = rng.ExpFloat64() * 15000
+		}
+		// Occupation mix differs by gender (the main leakage channel).
+		var occ string
+		if female {
+			occ = pick(rng, occupations, []float64{0.08, 0.20, 0.35, 0.22, 0.05, 0.10})
+		} else {
+			occ = pick(rng, occupations, []float64{0.20, 0.20, 0.10, 0.12, 0.28, 0.10})
+		}
+		wc := workclasses[rng.Intn(len(workclasses))]
+
+		prot := 0.0
+		if female {
+			prot = 1
+		}
+		records[i] = Record{
+			Num: map[string]float64{
+				"age":             age,
+				"education_years": edu,
+				"hours_per_week":  hours,
+				"capital_gain":    gain,
+				"female":          prot,
+			},
+			Cat: map[string]string{
+				"occupation":      occ,
+				"workclass":       wc,
+				"marital":         maritals[rng.Intn(len(maritals))],
+				"education_level": educations[min(int(edu-6)/2, len(educations)-1)],
+			},
+		}
+		occBonus := map[string]float64{"managerial": 1.2, "professional": 1.0, "sales": 0.3, "clerical": 0.1, "service": -0.3, "manual": -0.1}
+		risk[i] = 0.12*edu + 0.03*hours + 0.02*(age-17) + gain/20000 + occBonus[occ] + rng.NormFloat64()*0.7
+	}
+	return buildClassification("census", enc, records, protected, risk, 0.12, 0.31)
+}
+
+// Credit simulates the UCI German Credit dataset: age (young) as the
+// protected attribute, credit-worthiness as the outcome, base rates 0.67
+// (protected = young) and 0.72 as in Table II, 1000 records as in the
+// original.
+func Credit(cfg ClassificationConfig) *Dataset {
+	m := cfg.Records
+	if m <= 0 {
+		m = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	histories := []string{"critical", "delayed", "paid", "none"}
+	purposes := []string{"car", "furniture", "radio-tv", "education", "business"}
+	employments := []string{"unemployed", "short", "medium", "long"}
+	enc := Encoder{Specs: []FeatureSpec{
+		{Name: "duration_months"},
+		{Name: "amount"},
+		{Name: "installment_rate"},
+		{Name: "history", Levels: histories},
+		{Name: "purpose", Levels: purposes},
+		{Name: "employment", Levels: employments},
+		{Name: "young", Protected: true},
+	}}
+
+	records := make([]Record, m)
+	protected := make([]bool, m)
+	risk := make([]float64, m)
+	for i := 0; i < m; i++ {
+		age := 19 + rng.ExpFloat64()*14
+		young := age < 30
+		protected[i] = young
+
+		duration := 6 + rng.Float64()*54
+		amount := 500 + rng.ExpFloat64()*3000
+		rate := 1 + rng.Float64()*3
+		hist := histories[rng.Intn(len(histories))]
+		purpose := purposes[rng.Intn(len(purposes))]
+		// Employment length correlates with age (the leakage channel).
+		var emp string
+		if young {
+			emp = pick(rng, employments, []float64{0.2, 0.5, 0.25, 0.05})
+		} else {
+			emp = pick(rng, employments, []float64{0.05, 0.15, 0.35, 0.45})
+		}
+
+		prot := 0.0
+		if young {
+			prot = 1
+		}
+		records[i] = Record{
+			Num: map[string]float64{
+				"duration_months":  duration,
+				"amount":           amount,
+				"installment_rate": rate,
+				"young":            prot,
+			},
+			Cat: map[string]string{"history": hist, "purpose": purpose, "employment": emp},
+		}
+		histBonus := map[string]float64{"paid": 0.6, "none": 0.2, "delayed": -0.3, "critical": -0.8}
+		empBonus := map[string]float64{"unemployed": -0.6, "short": -0.1, "medium": 0.2, "long": 0.5}
+		risk[i] = histBonus[hist] + empBonus[emp] - duration/60 - amount/8000 + rng.NormFloat64()*0.6
+	}
+	return buildClassification("credit", enc, records, protected, risk, 0.67, 0.72)
+}
+
+// poisson draws from a Poisson distribution via Knuth's method (λ is small
+// here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// pick draws one element of items with the given (normalised) weights.
+func pick(rng *rand.Rand, items []string, weights []float64) string {
+	u := rng.Float64()
+	var cum float64
+	for i, w := range weights {
+		cum += w
+		if u < cum {
+			return items[i]
+		}
+	}
+	return items[len(items)-1]
+}

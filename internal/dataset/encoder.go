@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// FeatureSpec declares one raw attribute. Numeric attributes leave Levels
+// nil; categorical attributes list their levels, which are unfolded into
+// one binary column per level (one-hot encoding, Sec. V-B).
+type FeatureSpec struct {
+	Name      string
+	Levels    []string
+	Protected bool
+}
+
+// Record is one raw data record: numeric values and categorical levels
+// keyed by feature name.
+type Record struct {
+	Num map[string]float64
+	Cat map[string]string
+}
+
+// Encoder turns raw records into the encoded matrix representation:
+// categorical attributes are one-hot unfolded and every resulting column is
+// standardised to zero mean and unit variance.
+type Encoder struct {
+	Specs []FeatureSpec
+}
+
+// Encode encodes records, returning the matrix, the encoded indices of
+// protected columns, and per-column names. It fails on unknown categorical
+// levels or missing values.
+func (e *Encoder) Encode(records []Record) (*mat.Dense, []int, []string, error) {
+	var names []string
+	var protCols []int
+	type colSrc struct {
+		spec  FeatureSpec
+		level string // empty for numeric
+	}
+	var srcs []colSrc
+	for _, spec := range e.Specs {
+		if spec.Levels == nil {
+			if spec.Protected {
+				protCols = append(protCols, len(srcs))
+			}
+			names = append(names, spec.Name)
+			srcs = append(srcs, colSrc{spec: spec})
+			continue
+		}
+		for _, lvl := range spec.Levels {
+			if spec.Protected {
+				protCols = append(protCols, len(srcs))
+			}
+			names = append(names, spec.Name+"="+lvl)
+			srcs = append(srcs, colSrc{spec: spec, level: lvl})
+		}
+	}
+
+	x := mat.NewDense(len(records), len(srcs))
+	for i, rec := range records {
+		row := x.Row(i)
+		for j, src := range srcs {
+			if src.spec.Levels == nil {
+				v, ok := rec.Num[src.spec.Name]
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("dataset: record %d missing numeric feature %q", i, src.spec.Name)
+				}
+				row[j] = v
+				continue
+			}
+			lvl, ok := rec.Cat[src.spec.Name]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("dataset: record %d missing categorical feature %q", i, src.spec.Name)
+			}
+			if !validLevel(src.spec.Levels, lvl) {
+				return nil, nil, nil, fmt.Errorf("dataset: record %d has unknown level %q for feature %q", i, lvl, src.spec.Name)
+			}
+			if lvl == src.level {
+				row[j] = 1
+			}
+		}
+	}
+
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	stats.Standardize(rows)
+	return x, protCols, names, nil
+}
+
+func validLevel(levels []string, lvl string) bool {
+	for _, l := range levels {
+		if l == lvl {
+			return true
+		}
+	}
+	return false
+}

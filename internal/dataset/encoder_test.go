@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func testEncoder() Encoder {
+	return Encoder{Specs: []FeatureSpec{
+		{Name: "score"},
+		{Name: "color", Levels: []string{"red", "green", "blue"}},
+		{Name: "member", Protected: true},
+	}}
+}
+
+func testRecords() []Record {
+	return []Record{
+		{Num: map[string]float64{"score": 1, "member": 0}, Cat: map[string]string{"color": "red"}},
+		{Num: map[string]float64{"score": 2, "member": 1}, Cat: map[string]string{"color": "green"}},
+		{Num: map[string]float64{"score": 3, "member": 0}, Cat: map[string]string{"color": "blue"}},
+		{Num: map[string]float64{"score": 4, "member": 1}, Cat: map[string]string{"color": "red"}},
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	enc := testEncoder()
+	x, prot, names, err := enc.Encode(testRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 numeric + 3 one-hot + 1 protected numeric = 5 columns.
+	if r, c := x.Dims(); r != 4 || c != 5 {
+		t.Fatalf("dims = %d×%d, want 4×5", r, c)
+	}
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	if len(prot) != 1 || prot[0] != 4 {
+		t.Fatalf("protected cols = %v, want [4]", prot)
+	}
+	if names[1] != "color=red" {
+		t.Fatalf("names[1] = %q", names[1])
+	}
+}
+
+func TestEncodeOneHotExclusive(t *testing.T) {
+	enc := testEncoder()
+	// Encode without standardisation interference: verify one-hot
+	// structure through column correlation — each record activates
+	// exactly one level. Easiest check: re-encode two records with
+	// distinct colors and compare standardised signs.
+	x, _, _, err := enc.Encode(testRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns 1..3 are the one-hot block; after standardisation the
+	// active level is the column maximum within the block's sign pattern.
+	// Check that rows 0 and 3 (both red) agree exactly on the block.
+	for j := 1; j <= 3; j++ {
+		if x.At(0, j) != x.At(3, j) {
+			t.Fatalf("records with identical level differ in column %d", j)
+		}
+	}
+	if x.At(0, 1) == x.At(1, 1) {
+		t.Fatal("red and green record should differ in the red column")
+	}
+}
+
+func TestEncodeStandardised(t *testing.T) {
+	enc := testEncoder()
+	x, _, _, err := enc.Encode(testRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < x.Cols(); j++ {
+		col := x.Col(j)
+		if m := stats.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("column %d mean = %v, want 0", j, m)
+		}
+		v := stats.Variance(col)
+		if math.Abs(v-1) > 1e-9 && v != 0 {
+			t.Fatalf("column %d variance = %v, want 1 (or 0 if constant)", j, v)
+		}
+	}
+}
+
+func TestEncodeUnknownLevel(t *testing.T) {
+	enc := testEncoder()
+	recs := testRecords()
+	recs[1].Cat["color"] = "purple"
+	if _, _, _, err := enc.Encode(recs); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestEncodeMissingNumeric(t *testing.T) {
+	enc := testEncoder()
+	recs := testRecords()
+	delete(recs[0].Num, "score")
+	if _, _, _, err := enc.Encode(recs); err == nil {
+		t.Fatal("expected error for missing numeric feature")
+	}
+}
+
+func TestEncodeMissingCategorical(t *testing.T) {
+	enc := testEncoder()
+	recs := testRecords()
+	delete(recs[2].Cat, "color")
+	if _, _, _, err := enc.Encode(recs); err == nil {
+		t.Fatal("expected error for missing categorical feature")
+	}
+}
+
+func TestEncodeProtectedCategorical(t *testing.T) {
+	enc := Encoder{Specs: []FeatureSpec{
+		{Name: "x"},
+		{Name: "group", Levels: []string{"a", "b"}, Protected: true},
+	}}
+	recs := []Record{
+		{Num: map[string]float64{"x": 1}, Cat: map[string]string{"group": "a"}},
+		{Num: map[string]float64{"x": 2}, Cat: map[string]string{"group": "b"}},
+	}
+	_, prot, _, err := enc.Encode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prot) != 2 || prot[0] != 1 || prot[1] != 2 {
+		t.Fatalf("protected cols = %v, want [1 2]", prot)
+	}
+}

@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV checks that arbitrary CSV input never panics the loader and
+// that successful loads produce internally consistent datasets.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("a,b,label\n1,2,true\n3,4,false\n", "label", "a")
+	f.Add("x,y\n1,0\n", "y", "")
+	f.Add("", "label", "")
+	f.Add("label\ntrue\n", "label", "")
+	f.Add("a,b,label\n1,2\n", "label", "b")
+	f.Add("a,\"b\nc\",label\n1,2,yes\n", "label", "")
+	f.Fuzz(func(t *testing.T, csv, outcome, protected string) {
+		var prot []string
+		if protected != "" {
+			prot = []string{protected}
+		}
+		ds, err := LoadCSV(strings.NewReader(csv), CSVSchema{
+			Task:      Classification,
+			Outcome:   outcome,
+			Protected: prot,
+		})
+		if err != nil {
+			return
+		}
+		if ds.Rows() != len(ds.Label) || ds.Rows() != len(ds.Protected) {
+			t.Fatalf("inconsistent shapes: %d rows, %d labels, %d flags", ds.Rows(), len(ds.Label), len(ds.Protected))
+		}
+		if len(ds.FeatureNames) != ds.Cols() {
+			t.Fatalf("feature names %d != cols %d", len(ds.FeatureNames), ds.Cols())
+		}
+		for _, c := range ds.ProtectedCols {
+			if c < 0 || c >= ds.Cols() {
+				t.Fatalf("protected col %d out of range", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// CSVSchema describes how to interpret a user-supplied CSV file with a
+// header row. All feature columns must be numeric (one-hot encode
+// categoricals upstream, or use the Encoder API).
+type CSVSchema struct {
+	// Task selects classification or ranking.
+	Task Task
+	// Outcome names the outcome column: a boolean/0-1 label for
+	// classification, a numeric score for ranking.
+	Outcome string
+	// Protected names the protected feature columns. A record belongs to
+	// the protected group when its first protected column is ≥ 0.5
+	// (before standardisation).
+	Protected []string
+	// Query optionally names a ranking-query identifier column.
+	Query string
+	// Name labels the resulting dataset.
+	Name string
+}
+
+// LoadCSV reads a numeric CSV with a header row into a Dataset, applying
+// the same preprocessing as the built-in simulators: features are
+// standardised to zero mean and unit variance.
+func LoadCSV(r io.Reader, schema CSVSchema) (*Dataset, error) {
+	if schema.Outcome == "" {
+		return nil, fmt.Errorf("dataset: CSVSchema.Outcome must name the outcome column")
+	}
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: need a header row and at least one data row")
+	}
+	header := records[0]
+	colIdx := make(map[string]int, len(header))
+	for i, h := range header {
+		colIdx[strings.TrimSpace(h)] = i
+	}
+
+	outcomeCol, ok := colIdx[schema.Outcome]
+	if !ok {
+		return nil, fmt.Errorf("dataset: outcome column %q not found", schema.Outcome)
+	}
+	queryCol := -1
+	if schema.Query != "" {
+		queryCol, ok = colIdx[schema.Query]
+		if !ok {
+			return nil, fmt.Errorf("dataset: query column %q not found", schema.Query)
+		}
+	}
+	protSet := make(map[int]bool, len(schema.Protected))
+	for _, p := range schema.Protected {
+		idx, ok := colIdx[p]
+		if !ok {
+			return nil, fmt.Errorf("dataset: protected column %q not found", p)
+		}
+		if idx == outcomeCol || idx == queryCol {
+			return nil, fmt.Errorf("dataset: protected column %q overlaps outcome/query", p)
+		}
+		protSet[idx] = true
+	}
+
+	// Feature columns: everything except outcome and query, in header
+	// order (protected features stay in, as in the paper's Full Data).
+	var featureCols []int
+	var featureNames []string
+	for i, h := range header {
+		if i == outcomeCol || i == queryCol {
+			continue
+		}
+		featureCols = append(featureCols, i)
+		featureNames = append(featureNames, strings.TrimSpace(h))
+	}
+	if len(featureCols) == 0 {
+		return nil, fmt.Errorf("dataset: no feature columns remain")
+	}
+
+	m := len(records) - 1
+	rows := make([][]float64, m)
+	protected := make([]bool, m)
+	var labels []bool
+	var scores []float64
+	if schema.Task == Classification {
+		labels = make([]bool, m)
+	} else {
+		scores = make([]float64, m)
+	}
+	queryRows := map[string][]int{}
+	var queryOrder []string
+
+	firstProt := -1
+	for j, c := range featureCols {
+		if protSet[c] {
+			firstProt = j
+			break
+		}
+	}
+
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d cells, header has %d", i+2, len(rec), len(header))
+		}
+		row := make([]float64, len(featureCols))
+		for j, c := range featureCols {
+			cell := strings.TrimSpace(rec[c])
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				// Accept boolean-looking cells as 0/1 so files exported
+				// by cmd/datagen load back without edits.
+				b, berr := parseBoolish(cell)
+				if berr != nil {
+					return nil, fmt.Errorf("dataset: row %d column %q: %w", i+2, header[c], err)
+				}
+				if b {
+					v = 1
+				}
+			}
+			row[j] = v
+		}
+		rows[i] = row
+		if firstProt >= 0 {
+			protected[i] = row[firstProt] >= 0.5
+		}
+		if schema.Task == Classification {
+			b, err := parseBoolish(rec[outcomeCol])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d outcome: %w", i+2, err)
+			}
+			labels[i] = b
+		} else {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[outcomeCol]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d outcome: %w", i+2, err)
+			}
+			scores[i] = v
+		}
+		if queryCol >= 0 {
+			q := strings.TrimSpace(rec[queryCol])
+			if _, seen := queryRows[q]; !seen {
+				queryOrder = append(queryOrder, q)
+			}
+			queryRows[q] = append(queryRows[q], i)
+		}
+	}
+
+	stats.Standardize(rows)
+
+	ds := &Dataset{
+		Name:         schema.Name,
+		Task:         schema.Task,
+		X:            mat.FromRows(rows),
+		Label:        labels,
+		Score:        scores,
+		Protected:    protected,
+		FeatureNames: featureNames,
+	}
+	if ds.Name == "" {
+		ds.Name = "csv"
+	}
+	for j, c := range featureCols {
+		if protSet[c] {
+			ds.ProtectedCols = append(ds.ProtectedCols, j)
+		}
+	}
+	for _, q := range queryOrder {
+		ds.Queries = append(ds.Queries, Query{Name: q, Rows: queryRows[q]})
+	}
+	return ds, nil
+}
+
+// parseBoolish accepts true/false, t/f, 1/0 and yes/no (case-insensitive).
+func parseBoolish(s string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "true", "t", "1", "yes", "y":
+		return true, nil
+	case "false", "f", "0", "no", "n":
+		return false, nil
+	default:
+		return false, fmt.Errorf("cannot parse %q as a boolean label", s)
+	}
+}

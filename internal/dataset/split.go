@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split holds a three-way partition of record indices, matching the
+// paper's protocol: one part to learn model parameters, one validation part
+// for hyper-parameter grid search, one test part (Sec. V-B).
+type Split struct {
+	Train, Validation, Test []int
+}
+
+// ThreeWaySplit shuffles 0..m−1 with the given seed and partitions it by
+// the given fractions (test receives the remainder). Fractions must be
+// positive and sum to less than 1.
+func ThreeWaySplit(m int, trainFrac, valFrac float64, seed int64) (Split, error) {
+	if m <= 0 {
+		return Split{}, fmt.Errorf("dataset: cannot split %d records", m)
+	}
+	if trainFrac <= 0 || valFrac <= 0 || trainFrac+valFrac >= 1 {
+		return Split{}, fmt.Errorf("dataset: invalid split fractions %v/%v", trainFrac, valFrac)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(m)
+	nTrain := int(float64(m) * trainFrac)
+	nVal := int(float64(m) * valFrac)
+	if nTrain == 0 || nVal == 0 || nTrain+nVal >= m {
+		return Split{}, fmt.Errorf("dataset: split of %d records leaves an empty part", m)
+	}
+	return Split{
+		Train:      idx[:nTrain],
+		Validation: idx[nTrain : nTrain+nVal],
+		Test:       idx[nTrain+nVal:],
+	}, nil
+}
+
+// SplitQueries partitions ranking queries (not individual records) into
+// train/validation/test, since ranking evaluation is per query.
+func SplitQueries(n int, trainFrac, valFrac float64, seed int64) (Split, error) {
+	return ThreeWaySplit(n, trainFrac, valFrac, seed)
+}

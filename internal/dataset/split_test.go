@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThreeWaySplitPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := ThreeWaySplit(100, 0.4, 0.3, seed)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]int)
+		for _, part := range [][]int{s.Train, s.Validation, s.Test} {
+			for _, i := range part {
+				seen[i]++
+			}
+		}
+		if len(seen) != 100 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return len(s.Train) == 40 && len(s.Validation) == 30 && len(s.Test) == 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeWaySplitDeterministic(t *testing.T) {
+	a, err := ThreeWaySplit(50, 0.5, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ThreeWaySplit(50, 0.5, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("same seed must reproduce the same split")
+		}
+	}
+}
+
+func TestThreeWaySplitDifferentSeedsDiffer(t *testing.T) {
+	a, _ := ThreeWaySplit(200, 0.5, 0.25, 1)
+	b, _ := ThreeWaySplit(200, 0.5, 0.25, 2)
+	same := true
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should shuffle differently")
+	}
+}
+
+func TestThreeWaySplitValidation(t *testing.T) {
+	if _, err := ThreeWaySplit(0, 0.5, 0.25, 1); err == nil {
+		t.Fatal("expected error for zero records")
+	}
+	if _, err := ThreeWaySplit(100, 0, 0.25, 1); err == nil {
+		t.Fatal("expected error for zero train fraction")
+	}
+	if _, err := ThreeWaySplit(100, 0.8, 0.3, 1); err == nil {
+		t.Fatal("expected error for fractions ≥ 1")
+	}
+	if _, err := ThreeWaySplit(3, 0.05, 0.05, 1); err == nil {
+		t.Fatal("expected error when a part would be empty")
+	}
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// MixtureVariant selects how the protected attribute A is assigned in the
+// Sec. IV synthetic study.
+type MixtureVariant int
+
+const (
+	// VariantRandom sets A = 1 with probability 0.3 at random.
+	VariantRandom MixtureVariant = iota
+	// VariantCorrelatedX1 sets A = 1 iff X1 ≤ 3.
+	VariantCorrelatedX1
+	// VariantCorrelatedX2 sets A = 1 iff X2 ≤ 3.
+	VariantCorrelatedX2
+)
+
+// String implements fmt.Stringer.
+func (v MixtureVariant) String() string {
+	switch v {
+	case VariantRandom:
+		return "random"
+	case VariantCorrelatedX1:
+		return "X1<=3"
+	case VariantCorrelatedX2:
+		return "X2<=3"
+	default:
+		return "unknown"
+	}
+}
+
+// SyntheticMixture generates the Sec. IV dataset: m points with two
+// real-valued non-sensitive attributes X1, X2 drawn from a mixture of (i)
+// an isotropic unit-variance Gaussian and (ii) a Gaussian with correlation
+// 0.95 between the attributes, plus one binary protected attribute A
+// assigned per the variant. The outcome label Y is the generating mixture
+// component. The paper uses m = 100.
+//
+// The three variants share identical X1, X2 and Y values for a given seed
+// and differ only in A — exactly the controlled comparison Fig. 2 makes.
+func SyntheticMixture(variant MixtureVariant, m int, seed int64) *Dataset {
+	if m <= 0 {
+		panic(fmt.Sprintf("dataset: non-positive size %d", m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mixture := stats.Mixture2D{Components: []stats.MixtureComponent{
+		{Weight: 0.5, Dist: stats.Gaussian2D{MeanX: 2, MeanY: 2, VarX: 1, VarY: 1, Rho: 0}},
+		{Weight: 0.5, Dist: stats.Gaussian2D{MeanX: 5, MeanY: 4, VarX: 1, VarY: 1, Rho: 0.95}},
+	}}
+
+	x := mat.NewDense(m, 3)
+	label := make([]bool, m)
+	protected := make([]bool, m)
+	// Draw all points first so the three variants share identical X1, X2
+	// and Y for a given seed; A is assigned in a second pass.
+	for i := 0; i < m; i++ {
+		x1, x2, comp := mixture.Sample(rng)
+		label[i] = comp == 1
+		x.Set(i, 0, x1)
+		x.Set(i, 1, x2)
+	}
+	for i := 0; i < m; i++ {
+		var a bool
+		switch variant {
+		case VariantRandom:
+			a = stats.Bernoulli(rng, 0.3)
+		case VariantCorrelatedX1:
+			a = x.At(i, 0) <= 3
+		case VariantCorrelatedX2:
+			a = x.At(i, 1) <= 3
+		default:
+			panic(fmt.Sprintf("dataset: unknown mixture variant %d", variant))
+		}
+		protected[i] = a
+		if a {
+			x.Set(i, 2, 1)
+		}
+	}
+
+	// Standardise, matching the pipeline applied to the real datasets.
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	stats.Standardize(rows)
+
+	return &Dataset{
+		Name:          "synthetic-" + variant.String(),
+		Task:          Classification,
+		X:             x,
+		Label:         label,
+		Protected:     protected,
+		ProtectedCols: []int{2},
+		FeatureNames:  []string{"X1", "X2", "A"},
+	}
+}

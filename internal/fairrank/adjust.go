@@ -1,0 +1,129 @@
+package fairrank
+
+import "fmt"
+
+// FailureProbability returns the probability that a ranking generated
+// under the null model — each of the k positions independently protected
+// with probability p — violates at least one prefix constraint in targets
+// (targets[i] is the minimum protected count required in the prefix of
+// length i+1).
+//
+// It is computed exactly with a dynamic program over (prefix length,
+// protected count) states, zeroing states that have already failed. This
+// is the core of the multiple-testing adjustment of Zehlike et al.: with k
+// prefix tests each at significance α, the overall rejection probability
+// exceeds α, so the per-test significance must be recalibrated.
+func FailureProbability(k int, p float64, targets []int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(targets) < k {
+		panic(fmt.Sprintf("fairrank: %d targets for k=%d", len(targets), k))
+	}
+	// pass[c] = P(prefix has c protected AND all tests so far passed).
+	pass := make([]float64, k+1)
+	next := make([]float64, k+1)
+	pass[0] = 1
+	for i := 1; i <= k; i++ {
+		for c := 0; c <= i; c++ {
+			next[c] = 0
+		}
+		for c := 0; c < i; c++ {
+			if pass[c] == 0 {
+				continue
+			}
+			next[c] += pass[c] * (1 - p)
+			next[c+1] += pass[c] * p
+		}
+		// Zero out states that fail the prefix-i test.
+		m := targets[i-1]
+		for c := 0; c < m && c <= i; c++ {
+			next[c] = 0
+		}
+		pass, next = next, pass
+	}
+	var total float64
+	for _, v := range pass[:k+1] {
+		total += v
+	}
+	if total > 1 {
+		total = 1
+	}
+	return 1 - total
+}
+
+// AdjustedSignificance computes the corrected per-test significance αc
+// such that the overall probability of rejecting a fair ranking (the
+// family-wise error of the k prefix tests) is at most alpha. It binary
+// searches αc in (0, alpha]; the failure probability is monotone
+// non-decreasing in αc because larger significance demands larger minimum
+// protected counts.
+func AdjustedSignificance(k int, p, alpha float64) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("fairrank: k = %d must be positive", k)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("fairrank: target proportion p = %v must be in (0, 1)", p)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("fairrank: significance α = %v must be in (0, 1)", alpha)
+	}
+	fail := func(ac float64) (float64, error) {
+		targets, err := MinimumTargets(k, p, ac)
+		if err != nil {
+			return 0, err
+		}
+		return FailureProbability(k, p, targets), nil
+	}
+	// If even the uncorrected alpha keeps the family-wise error within
+	// alpha, no adjustment is needed.
+	f, err := fail(alpha)
+	if err != nil {
+		return 0, err
+	}
+	if f <= alpha {
+		return alpha, nil
+	}
+	lo, hi := 0.0, alpha // failure prob at lo is 0 (no constraints bind)
+	for iter := 0; iter < 50; iter++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		f, err := fail(mid)
+		if err != nil {
+			return 0, err
+		}
+		if f <= alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		// Fall back to the smallest searched value; constraints are then
+		// simply the unconstrained ranking.
+		lo = hi / 2
+	}
+	return lo, nil
+}
+
+// ReRankAdjusted runs ReRank with the multiple-testing-corrected
+// significance: the prefix tests use αc = AdjustedSignificance(k, p, alpha)
+// so that the overall type-I error of the ranked group fairness test stays
+// at alpha.
+func ReRankAdjusted(scores []float64, protected []bool, k int, p, alpha float64) (*Result, error) {
+	n := len(scores)
+	if n == 0 {
+		return &Result{}, nil
+	}
+	effK := k
+	if effK <= 0 || effK > n {
+		effK = n
+	}
+	ac, err := AdjustedSignificance(effK, p, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return ReRank(scores, protected, k, p, ac)
+}

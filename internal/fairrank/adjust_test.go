@@ -1,0 +1,180 @@
+package fairrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFailureProbabilityNoConstraints(t *testing.T) {
+	targets := make([]int, 10) // all zero: nothing can fail
+	if got := FailureProbability(10, 0.5, targets); got != 0 {
+		t.Fatalf("failure prob = %v, want 0", got)
+	}
+}
+
+func TestFailureProbabilityImpossibleConstraint(t *testing.T) {
+	// Requiring 2 protected in a prefix of 1 always fails.
+	targets := []int{2}
+	if got := FailureProbability(1, 0.5, targets); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("failure prob = %v, want 1", got)
+	}
+}
+
+func TestFailureProbabilitySingleTest(t *testing.T) {
+	// One prefix of length 1 requiring ≥ 1 protected fails exactly when
+	// the position is unprotected: probability 1−p.
+	targets := []int{1}
+	p := 0.3
+	if got := FailureProbability(1, p, targets); math.Abs(got-(1-p)) > 1e-12 {
+		t.Fatalf("failure prob = %v, want %v", got, 1-p)
+	}
+}
+
+func TestFailureProbabilityKZero(t *testing.T) {
+	if got := FailureProbability(0, 0.5, nil); got != 0 {
+		t.Fatalf("failure prob = %v, want 0", got)
+	}
+}
+
+// TestFailureProbabilityMatchesMonteCarlo verifies the DP against direct
+// simulation of the null model.
+func TestFailureProbabilityMatchesMonteCarlo(t *testing.T) {
+	const k = 15
+	p := 0.5
+	targets, err := MinimumTargets(k, p, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FailureProbability(k, p, targets)
+
+	rng := rand.New(rand.NewSource(1))
+	const trials = 50000
+	fails := 0
+	for trial := 0; trial < trials; trial++ {
+		count := 0
+		failed := false
+		for i := 1; i <= k; i++ {
+			if rng.Float64() < p {
+				count++
+			}
+			if count < targets[i-1] {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			fails++
+		}
+	}
+	got := float64(fails) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("Monte Carlo failure rate %v vs DP %v", got, want)
+	}
+}
+
+// Property: the failure probability is monotone in the significance used
+// to build the targets (larger α → stricter targets → more failures).
+func TestFailureProbabilityMonotoneInAlpha(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 5 + rng.Intn(20)
+		p := 0.2 + 0.6*rng.Float64()
+		prev := -1.0
+		for _, alpha := range []float64{0.01, 0.05, 0.1, 0.3, 0.5} {
+			targets, err := MinimumTargets(k, p, alpha)
+			if err != nil {
+				return false
+			}
+			fp := FailureProbability(k, p, targets)
+			if fp < prev-1e-12 {
+				return false
+			}
+			prev = fp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjustedSignificanceControlsFamilywiseError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 10 + rng.Intn(30)
+		p := 0.3 + 0.4*rng.Float64()
+		alpha := 0.05 + 0.1*rng.Float64()
+		ac, err := AdjustedSignificance(k, p, alpha)
+		if err != nil {
+			return false
+		}
+		if ac <= 0 || ac > alpha {
+			return false
+		}
+		targets, err := MinimumTargets(k, p, ac)
+		if err != nil {
+			return false
+		}
+		return FailureProbability(k, p, targets) <= alpha+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjustedSignificanceValidation(t *testing.T) {
+	if _, err := AdjustedSignificance(0, 0.5, 0.1); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := AdjustedSignificance(5, 0, 0.1); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+	if _, err := AdjustedSignificance(5, 0.5, 1); err == nil {
+		t.Fatal("expected error for alpha=1")
+	}
+}
+
+func TestReRankAdjustedLooserThanUnadjusted(t *testing.T) {
+	// The corrected significance is ≤ the raw one, so the adjusted
+	// re-ranking enforces the same or fewer promotions.
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	scores := make([]float64, n)
+	prot := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		prot[i] = rng.Float64() < 0.3
+	}
+	raw, err := ReRank(scores, prot, 0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := ReRankAdjusted(scores, prot, 0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countTop := func(r *Result, k int) int {
+		c := 0
+		for _, idx := range r.Ranking[:k] {
+			if prot[idx] {
+				c++
+			}
+		}
+		return c
+	}
+	if countTop(adj, 10) > countTop(raw, 10) {
+		t.Fatalf("adjusted ranking promotes more (%d) than unadjusted (%d)", countTop(adj, 10), countTop(raw, 10))
+	}
+}
+
+func TestReRankAdjustedEmpty(t *testing.T) {
+	res, err := ReRankAdjusted(nil, nil, 0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 0 {
+		t.Fatal("empty input must give empty ranking")
+	}
+}

@@ -1,0 +1,85 @@
+// Package fairrank reimplements the FA*IR fair top-k ranking algorithm of
+// Zehlike et al. (CIKM 2017) — reference [27] of the paper and its baseline
+// for the ranking experiments — plus the paper's own extension that returns
+// "fair scores" by linear interpolation for displaced candidates
+// (Sec. V-E).
+//
+// FA*IR enforces ranked group fairness: at every prefix of length k of the
+// output ranking, the number of protected candidates must reach the
+// (1 − α)-quantile lower bound of a Binomial(k, p) draw, where p is the
+// target minimum protected proportion and α the significance level.
+package fairrank
+
+import (
+	"fmt"
+	"math"
+)
+
+// binomPMFLog returns log C(n, k) + k·log p + (n−k)·log(1−p), the log of
+// the binomial probability mass function, using log-gamma for stability.
+func binomPMFLog(k, n int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if p == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p == 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1)) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+}
+
+// BinomCDF returns P[X ≤ k] for X ~ Binomial(n, p).
+func BinomCDF(k, n int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	var cdf float64
+	for i := 0; i <= k; i++ {
+		cdf += math.Exp(binomPMFLog(i, n, p))
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf
+}
+
+// MinimumTargets returns, for every prefix length 1..k, the minimum number
+// of protected candidates m(i; p, α) required by the ranked group fairness
+// test: the smallest m such that P[Binomial(i, p) ≤ m] > α. This is Table 1
+// of Zehlike et al.
+func MinimumTargets(k int, p, alpha float64) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fairrank: k = %d must be positive", k)
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("fairrank: target proportion p = %v must be in (0, 1)", p)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("fairrank: significance α = %v must be in (0, 1)", alpha)
+	}
+	targets := make([]int, k)
+	for i := 1; i <= k; i++ {
+		m := 0
+		for BinomCDF(m, i, p) <= alpha {
+			m++
+		}
+		targets[i-1] = m
+	}
+	return targets, nil
+}

@@ -1,0 +1,154 @@
+package fairrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomCDFEdges(t *testing.T) {
+	if got := BinomCDF(-1, 5, 0.5); got != 0 {
+		t.Fatalf("CDF(-1) = %v, want 0", got)
+	}
+	if got := BinomCDF(5, 5, 0.5); got != 1 {
+		t.Fatalf("CDF(n) = %v, want 1", got)
+	}
+	if got := BinomCDF(7, 5, 0.5); got != 1 {
+		t.Fatalf("CDF(>n) = %v, want 1", got)
+	}
+}
+
+func TestBinomCDFKnownValues(t *testing.T) {
+	// Binomial(2, 0.5): P[X≤0] = 0.25, P[X≤1] = 0.75.
+	if got := BinomCDF(0, 2, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("CDF(0;2,0.5) = %v, want 0.25", got)
+	}
+	if got := BinomCDF(1, 2, 0.5); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("CDF(1;2,0.5) = %v, want 0.75", got)
+	}
+	// Binomial(10, 0.1): P[X≤0] = 0.9^10.
+	if got := BinomCDF(0, 10, 0.1); math.Abs(got-math.Pow(0.9, 10)) > 1e-12 {
+		t.Fatalf("CDF(0;10,0.1) = %v", got)
+	}
+}
+
+// Property: CDF is non-decreasing in k and lies in [0, 1].
+func TestBinomCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		p := 0.05 + 0.9*rng.Float64()
+		prev := 0.0
+		for k := 0; k <= n; k++ {
+			c := BinomCDF(k, n, p)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomPMFLogDegenerate(t *testing.T) {
+	if got := binomPMFLog(0, 5, 0); got != 0 {
+		t.Fatalf("log pmf(0;5,0) = %v, want 0", got)
+	}
+	if got := binomPMFLog(1, 5, 0); !math.IsInf(got, -1) {
+		t.Fatalf("log pmf(1;5,0) = %v, want -inf", got)
+	}
+	if got := binomPMFLog(5, 5, 1); got != 0 {
+		t.Fatalf("log pmf(5;5,1) = %v, want 0", got)
+	}
+	if got := binomPMFLog(4, 5, 1); !math.IsInf(got, -1) {
+		t.Fatalf("log pmf(4;5,1) = %v, want -inf", got)
+	}
+}
+
+func TestMinimumTargetsPaperExample(t *testing.T) {
+	// From Zehlike et al.: with p = 0.5, α = 0.1 the first positions
+	// require no protected candidate, and the required count grows
+	// roughly like p·k.
+	targets, err := MinimumTargets(20, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets[0] != 0 {
+		t.Fatalf("m(1) = %d, want 0", targets[0])
+	}
+	// Verify the defining property at every prefix.
+	for i, m := range targets {
+		k := i + 1
+		if BinomCDF(m, k, 0.5) <= 0.1 {
+			t.Fatalf("m(%d) = %d does not satisfy CDF > α", k, m)
+		}
+		if m > 0 && BinomCDF(m-1, k, 0.5) > 0.1 {
+			t.Fatalf("m(%d) = %d is not minimal", k, m)
+		}
+	}
+}
+
+// Property: targets are non-decreasing in k and bounded by k·p + slack.
+func TestMinimumTargetsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.1 + 0.8*rng.Float64()
+		alpha := 0.01 + 0.2*rng.Float64()
+		targets, err := MinimumTargets(30, p, alpha)
+		if err != nil {
+			return false
+		}
+		prev := 0
+		for k, m := range targets {
+			if m < prev || m > k+1 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumTargetsHigherPNeedsMore(t *testing.T) {
+	lo, err := MinimumTargets(25, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MinimumTargets(25, 0.8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range lo {
+		if hi[k] < lo[k] {
+			t.Fatalf("targets at p=0.8 below p=0.3 at k=%d", k+1)
+		}
+	}
+	if hi[24] <= lo[24] {
+		t.Fatal("expected strictly larger requirement at k=25 for p=0.8")
+	}
+}
+
+func TestMinimumTargetsValidation(t *testing.T) {
+	if _, err := MinimumTargets(0, 0.5, 0.1); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := MinimumTargets(5, 0, 0.1); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+	if _, err := MinimumTargets(5, 1, 0.1); err == nil {
+		t.Fatal("expected error for p=1")
+	}
+	if _, err := MinimumTargets(5, 0.5, 0); err == nil {
+		t.Fatal("expected error for alpha=0")
+	}
+	if _, err := MinimumTargets(5, 0.5, 1); err == nil {
+		t.Fatal("expected error for alpha=1")
+	}
+}

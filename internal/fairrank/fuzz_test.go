@@ -1,0 +1,55 @@
+package fairrank
+
+import "testing"
+
+// FuzzReRank checks that arbitrary scores and parameters never panic and
+// that accepted outputs are permutations with monotone fair scores.
+func FuzzReRank(f *testing.F) {
+	f.Add(uint8(5), 0.5, 0.1, uint8(0b10101))
+	f.Add(uint8(1), 0.9, 0.01, uint8(1))
+	f.Add(uint8(8), 0.01, 0.99, uint8(0))
+	f.Fuzz(func(t *testing.T, n uint8, p, alpha float64, protBits uint8) {
+		size := int(n % 12)
+		scores := make([]float64, size)
+		prot := make([]bool, size)
+		for i := 0; i < size; i++ {
+			scores[i] = float64((i*37)%11) / 10
+			prot[i] = protBits&(1<<(i%8)) != 0
+		}
+		res, err := ReRank(scores, prot, 0, p, alpha)
+		if err != nil {
+			return // invalid p/alpha rejected, fine
+		}
+		if len(res.Ranking) != size || len(res.FairScores) != size {
+			t.Fatalf("output sizes %d/%d for input %d", len(res.Ranking), len(res.FairScores), size)
+		}
+		seen := make(map[int]bool, size)
+		for _, idx := range res.Ranking {
+			if idx < 0 || idx >= size || seen[idx] {
+				t.Fatalf("not a permutation: %v", res.Ranking)
+			}
+			seen[idx] = true
+		}
+		for r := 1; r < size; r++ {
+			if res.FairScores[r] > res.FairScores[r-1]+1e-9 {
+				t.Fatalf("fair scores not monotone at %d: %v", r, res.FairScores)
+			}
+		}
+	})
+}
+
+// FuzzBinomCDF checks CDF bounds for arbitrary parameters.
+func FuzzBinomCDF(f *testing.F) {
+	f.Add(3, 10, 0.5)
+	f.Add(0, 1, 0.01)
+	f.Add(-5, 7, 0.99)
+	f.Fuzz(func(t *testing.T, k, n int, p float64) {
+		if n < 0 || n > 200 || p < 0 || p > 1 {
+			return
+		}
+		c := BinomCDF(k, n, p)
+		if c < 0 || c > 1 {
+			t.Fatalf("BinomCDF(%d, %d, %v) = %v out of [0,1]", k, n, p, c)
+		}
+	})
+}

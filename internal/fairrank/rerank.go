@@ -1,0 +1,145 @@
+package fairrank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is the output of ReRank: a fair permutation of candidate indices
+// plus the interpolated "fair scores" extension this paper adds so that
+// score-based metrics (consistency yNN) can be evaluated on FA*IR output
+// (Sec. V-E, "Baseline FA*IR").
+type Result struct {
+	// Ranking holds candidate indices, best first, satisfying ranked group
+	// fairness at every prefix.
+	Ranking []int
+	// FairScores[r] is the score assigned to the candidate at rank r:
+	// the original score where the greedy choice was untouched, and a
+	// linearly interpolated placeholder value where a protected candidate
+	// was promoted past better-scored ones.
+	FairScores []float64
+	// Infeasible reports that at some prefix the protected queue ran dry
+	// and the constraint could not be met (the remaining ranking falls
+	// back to score order).
+	Infeasible bool
+}
+
+// ReRank applies the FA*IR algorithm: given per-candidate scores and
+// protected flags, it produces a ranking of all candidates such that every
+// prefix of length ≤ k satisfies the ranked group fairness test with target
+// proportion p and significance alpha. Positions beyond k are filled in
+// score order. If k ≤ 0 the constraint is enforced over the whole list.
+func ReRank(scores []float64, protected []bool, k int, p, alpha float64) (*Result, error) {
+	n := len(scores)
+	if len(protected) != n {
+		return nil, fmt.Errorf("fairrank: %d scores but %d protected flags", n, len(protected))
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	if k <= 0 || k > n {
+		k = n
+	}
+	targets, err := MinimumTargets(k, p, alpha)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two priority queues sorted by score descending (index ascending on
+	// ties, for determinism).
+	var prot, unprot []int
+	for i := range scores {
+		if protected[i] {
+			prot = append(prot, i)
+		} else {
+			unprot = append(unprot, i)
+		}
+	}
+	byScore := func(ids []int) {
+		sort.SliceStable(ids, func(a, b int) bool { return scores[ids[a]] > scores[ids[b]] })
+	}
+	byScore(prot)
+	byScore(unprot)
+
+	res := &Result{Ranking: make([]int, 0, n)}
+	forced := make([]bool, n)
+	protTaken := 0
+	for pos := 0; pos < n; pos++ {
+		var pick int
+		switch {
+		case pos < k && protTaken < targets[pos] && len(prot) > 0:
+			// Constraint binding: must take the best protected candidate.
+			// If it would not have won on score, this is a promotion and
+			// its slot gets a score placeholder (Sec. V-E).
+			if len(unprot) > 0 && scores[prot[0]] < scores[unprot[0]] {
+				forced[pos] = true
+			}
+			pick, prot = prot[0], prot[1:]
+			protTaken++
+		case pos < k && protTaken < targets[pos]:
+			// Constraint binding but no protected candidates remain.
+			res.Infeasible = true
+			pick, unprot = unprot[0], unprot[1:]
+		case len(prot) == 0:
+			pick, unprot = unprot[0], unprot[1:]
+		case len(unprot) == 0 || scores[prot[0]] >= scores[unprot[0]]:
+			pick, prot = prot[0], prot[1:]
+			protTaken++
+		default:
+			pick, unprot = unprot[0], unprot[1:]
+		}
+		res.Ranking = append(res.Ranking, pick)
+	}
+	res.FairScores = interpolateScores(scores, res.Ranking, forced)
+	return res, nil
+}
+
+// interpolateScores produces the "fair scores" of Sec. V-E: candidates
+// chosen on merit keep their original score; candidates promoted to satisfy
+// the parity constraint become placeholders filled by linear interpolation
+// between the surrounding kept scores.
+func interpolateScores(scores []float64, ranking []int, forced []bool) []float64 {
+	n := len(ranking)
+	out := make([]float64, n)
+	anchor := make([]bool, n)
+	for r, idx := range ranking {
+		if !forced[r] {
+			out[r] = scores[idx]
+			anchor[r] = true
+		}
+	}
+	// Fill placeholder runs.
+	for r := 0; r < n; {
+		if anchor[r] {
+			r++
+			continue
+		}
+		start := r
+		for r < n && !anchor[r] {
+			r++
+		}
+		// run is [start, r)
+		var left, right float64
+		switch {
+		case start == 0 && r == n:
+			// No anchors at all (cannot happen: rank 0 is always an
+			// anchor), but keep original scores defensively.
+			for i := start; i < r; i++ {
+				out[i] = scores[ranking[i]]
+			}
+			continue
+		case start == 0:
+			left, right = out[r], out[r]
+		case r == n:
+			left, right = out[start-1], out[start-1]
+		default:
+			left, right = out[start-1], out[r]
+		}
+		run := r - start
+		for i := 0; i < run; i++ {
+			t := float64(i+1) / float64(run+1)
+			out[start+i] = left + (right-left)*t
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package fairrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReRankIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		scores := make([]float64, n)
+		prot := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			prot[i] = rng.Float64() < 0.4
+		}
+		res, err := ReRank(scores, prot, 0, 0.4, 0.1)
+		if err != nil {
+			return false
+		}
+		if len(res.Ranking) != n {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, idx := range res.Ranking {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReRankSatisfiesPrefixConstraints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		scores := make([]float64, n)
+		prot := make([]bool, n)
+		nProt := 0
+		for i := range scores {
+			scores[i] = rng.Float64()
+			prot[i] = rng.Float64() < 0.5
+			if prot[i] {
+				nProt++
+			}
+		}
+		const p, alpha = 0.5, 0.1
+		res, err := ReRank(scores, prot, 0, p, alpha)
+		if err != nil {
+			return false
+		}
+		if res.Infeasible {
+			return true // constraint unverifiable when queue ran dry
+		}
+		targets, err := MinimumTargets(n, p, alpha)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for k, idx := range res.Ranking {
+			if prot[idx] {
+				count++
+			}
+			if count < targets[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReRankWithinGroupScoreOrder(t *testing.T) {
+	// Within each group, the ranking must respect score order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		scores := make([]float64, n)
+		prot := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			prot[i] = i%3 == 0
+		}
+		res, err := ReRank(scores, prot, 0, 0.3, 0.1)
+		if err != nil {
+			return false
+		}
+		lastProt, lastUnprot := math.Inf(1), math.Inf(1)
+		for _, idx := range res.Ranking {
+			if prot[idx] {
+				if scores[idx] > lastProt+1e-12 {
+					return false
+				}
+				lastProt = scores[idx]
+			} else {
+				if scores[idx] > lastUnprot+1e-12 {
+					return false
+				}
+				lastUnprot = scores[idx]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReRankNoConstraintKeepsScoreOrder(t *testing.T) {
+	// With a tiny p the constraint never binds and FA*IR degenerates to
+	// plain score ordering.
+	scores := []float64{0.1, 0.9, 0.5, 0.7}
+	prot := []bool{true, false, true, false}
+	res, err := ReRank(scores, prot, 0, 0.01, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 2, 0}
+	for i, idx := range res.Ranking {
+		if idx != want[i] {
+			t.Fatalf("ranking = %v, want %v", res.Ranking, want)
+		}
+	}
+}
+
+func TestReRankPromotesProtected(t *testing.T) {
+	// All protected candidates score below all unprotected ones; with a
+	// high p, protected candidates must appear early anyway.
+	scores := []float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1}
+	prot := []bool{false, false, false, true, true, true}
+	res, err := ReRank(scores, prot, 0, 0.8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protInTop3 := 0
+	for _, idx := range res.Ranking[:3] {
+		if prot[idx] {
+			protInTop3++
+		}
+	}
+	if protInTop3 == 0 {
+		t.Fatalf("no protected candidate promoted into top 3: %v", res.Ranking)
+	}
+}
+
+func TestReRankInfeasibleFlag(t *testing.T) {
+	// Only one protected candidate but p demands many: must flag
+	// infeasibility rather than fail.
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2}
+	prot := []bool{false, false, false, false, false, false, false, true}
+	res, err := ReRank(scores, prot, 0, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infeasible {
+		t.Fatal("expected Infeasible flag")
+	}
+	if len(res.Ranking) != len(scores) {
+		t.Fatal("ranking must still cover all candidates")
+	}
+}
+
+func TestReRankValidation(t *testing.T) {
+	if _, err := ReRank([]float64{1}, []bool{true, false}, 0, 0.5, 0.1); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := ReRank([]float64{1}, []bool{true}, 0, 0, 0.1); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+}
+
+func TestReRankEmpty(t *testing.T) {
+	res, err := ReRank(nil, nil, 0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 0 {
+		t.Fatal("empty input must give empty ranking")
+	}
+}
+
+// Property: fair scores are non-increasing along the ranking and bounded by
+// the original score range.
+func TestFairScoresMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		scores := make([]float64, n)
+		prot := make([]bool, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			prot[i] = rng.Float64() < 0.5
+			lo = math.Min(lo, scores[i])
+			hi = math.Max(hi, scores[i])
+		}
+		res, err := ReRank(scores, prot, 0, 0.6, 0.1)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, s := range res.FairScores {
+			if s > prev+1e-12 || s < lo-1e-12 || s > hi+1e-12 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairScoresKeepOriginalWhenUntouched(t *testing.T) {
+	scores := []float64{0.9, 0.5, 0.1}
+	prot := []bool{true, false, true}
+	res, err := ReRank(scores, prot, 0, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, idx := range res.Ranking {
+		if res.FairScores[r] != scores[idx] {
+			t.Fatalf("untouched ranking should keep original scores, got %v", res.FairScores)
+		}
+	}
+}
+
+func TestFairScoresInterpolatePromoted(t *testing.T) {
+	// Force a promotion: protected candidate with the lowest score must
+	// enter early under p=0.9.
+	scores := []float64{1.0, 0.8, 0.6, 0.1}
+	prot := []bool{false, false, false, true}
+	res, err := ReRank(scores, prot, 0, 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the promoted protected candidate's position.
+	pos := -1
+	for r, idx := range res.Ranking {
+		if idx == 3 {
+			pos = r
+		}
+	}
+	if pos == -1 || pos == len(res.Ranking)-1 {
+		t.Skipf("no promotion occurred (ranking %v)", res.Ranking)
+	}
+	got := res.FairScores[pos]
+	if got <= scores[3] {
+		t.Fatalf("interpolated score %v should exceed the original %v", got, scores[3])
+	}
+}

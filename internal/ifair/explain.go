@@ -1,0 +1,37 @@
+package ifair
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttributeWeight pairs an attribute with its learned distance weight α.
+type AttributeWeight struct {
+	Name   string
+	Index  int
+	Weight float64
+}
+
+// AttributeWeights returns the learned α per attribute, sorted by
+// descending weight — an interpretability view of what the fitted distance
+// function considers task-relevant. With iFair-b initialisation, protected
+// attributes should appear near the bottom; a protected attribute drifting
+// to the top is a red flag worth auditing.
+//
+// names may be nil (indices are used) or must have length N.
+func (m *Model) AttributeWeights(names []string) []AttributeWeight {
+	n := m.Dims()
+	if names != nil && len(names) != n {
+		panic(fmt.Sprintf("ifair: %d names for %d attributes", len(names), n))
+	}
+	out := make([]AttributeWeight, n)
+	for i, a := range m.Alpha {
+		name := fmt.Sprintf("attr%d", i)
+		if names != nil {
+			name = names[i]
+		}
+		out[i] = AttributeWeight{Name: name, Index: i, Weight: a}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
+	return out
+}

@@ -1,0 +1,105 @@
+package ifair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestAttributeWeightsSorted(t *testing.T) {
+	model := &Model{
+		Prototypes: mat.NewDense(1, 3),
+		Alpha:      []float64{0.2, 0.9, 0.1},
+		P:          2,
+	}
+	ws := model.AttributeWeights([]string{"income", "debt", "gender"})
+	if ws[0].Name != "debt" || ws[1].Name != "income" || ws[2].Name != "gender" {
+		t.Fatalf("order = %v", ws)
+	}
+	if ws[0].Weight != 0.9 || ws[2].Index != 2 {
+		t.Fatalf("fields wrong: %v", ws)
+	}
+}
+
+func TestAttributeWeightsDefaultNames(t *testing.T) {
+	model := &Model{Prototypes: mat.NewDense(1, 2), Alpha: []float64{1, 2}, P: 2}
+	ws := model.AttributeWeights(nil)
+	if ws[0].Name != "attr1" || ws[1].Name != "attr0" {
+		t.Fatalf("default names wrong: %v", ws)
+	}
+}
+
+func TestAttributeWeightsNameMismatchPanics(t *testing.T) {
+	model := &Model{Prototypes: mat.NewDense(1, 2), Alpha: []float64{1, 2}, P: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.AttributeWeights([]string{"only-one"})
+}
+
+func TestAttributeWeightsStableOnTies(t *testing.T) {
+	model := &Model{Prototypes: mat.NewDense(1, 3), Alpha: []float64{1, 1, 1}, P: 2}
+	ws := model.AttributeWeights(nil)
+	if ws[0].Index != 0 || ws[1].Index != 1 || ws[2].Index != 2 {
+		t.Fatalf("tie order not stable: %v", ws)
+	}
+}
+
+// TestProtectedWeightsStayLowUnderIFairB ties the interpretability view to
+// the behavioural claim: after iFair-b training the protected attribute's
+// learned weight should be among the smallest.
+func TestProtectedWeightsStayLowUnderIFairB(t *testing.T) {
+	model, _ := fittedModelWithProtected(t)
+	ws := model.AttributeWeights(nil)
+	last := ws[len(ws)-1]
+	if last.Index != 2 {
+		// Not necessarily the very last, but it must sit in the lower
+		// half of the weight ordering.
+		half := len(ws) / 2
+		found := false
+		for _, w := range ws[half:] {
+			if w.Index == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("protected attribute ranked too high: %v", ws)
+		}
+	}
+}
+
+func fittedModelWithProtected(t *testing.T) (*Model, *mat.Dense) {
+	t.Helper()
+	x := randomDataWithProtected(40, 3, 2, 4)
+	model, err := Fit(x, Options{
+		K: 3, Lambda: 1, Mu: 1,
+		Protected: []int{2}, Init: InitMaskedProtected,
+		Seed: 4, MaxIterations: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, x
+}
+
+// randomDataWithProtected builds data whose protected column (index prot)
+// is binary.
+func randomDataWithProtected(m, n, prot int, seed int64) *mat.Dense {
+	x := mat.NewDense(m, n)
+	rng := newTestRNG(seed)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == prot {
+				x.Set(i, j, float64(rng.Intn(2)))
+			} else {
+				x.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return x
+}
+
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,105 @@
+package ifair
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+// ErrNoData is returned when Fit is called on an empty matrix.
+var ErrNoData = errors.New("ifair: no training data")
+
+// Fit learns an iFair representation of x (M×N, already encoded and
+// standardised) by minimising Def. 9 with L-BFGS. It runs opts.Restarts
+// independent random initialisations and returns the model with the lowest
+// final objective, mirroring the paper's best-of-3 protocol.
+func Fit(x *mat.Dense, opts Options) (*Model, error) {
+	m, n := x.Dims()
+	if m == 0 || n == 0 {
+		return nil, ErrNoData
+	}
+	if err := opts.fill(n); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	obj := newObjective(x, opts, rng)
+
+	var best *Model
+	for r := 0; r < opts.Restarts; r++ {
+		theta := initialTheta(x, opts, rng)
+		settings := optimize.Settings{MaxIterations: opts.MaxIterations, GradTol: 1e-5}
+		var res optimize.Result
+		var err error
+		if opts.UseGradientDescent {
+			res, err = optimize.GradientDescent(obj, theta, settings)
+		} else {
+			res, err = optimize.LBFGS(obj, theta, settings)
+		}
+		if err != nil {
+			return nil, err
+		}
+		model := modelFromTheta(res.X, n, opts)
+		model.Loss = res.F
+		if best == nil || model.Loss < best.Loss {
+			best = model
+		}
+	}
+	return best, nil
+}
+
+// initialTheta draws a packed parameter vector: first the α
+// reparameterisation a (α = a²), then the K prototype rows.
+func initialTheta(x *mat.Dense, opts Options, rng *rand.Rand) []float64 {
+	m, n := x.Dims()
+	theta := make([]float64, n+opts.K*n)
+
+	// a-vector: α_n = a_n², so draw a_n = sqrt(α_n) for α_n ~ U(0,1).
+	isProt := make([]bool, n)
+	for _, p := range opts.Protected {
+		isProt[p] = true
+	}
+	for j := 0; j < n; j++ {
+		alpha := rng.Float64()
+		if opts.Init == InitMaskedProtected && isProt[j] {
+			alpha = opts.NearZero
+		}
+		theta[j] = math.Sqrt(alpha)
+	}
+
+	// prototypes
+	for k := 0; k < opts.K; k++ {
+		row := theta[n+k*n : n+(k+1)*n]
+		switch opts.ProtoInit {
+		case InitUniform:
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+		default: // InitDataPoints
+			src := x.Row(rng.Intn(m))
+			for j := range row {
+				row[j] = src[j] + 0.1*rng.NormFloat64()
+			}
+		}
+	}
+	return theta
+}
+
+func modelFromTheta(theta []float64, n int, opts Options) *Model {
+	alpha := make([]float64, n)
+	for j := 0; j < n; j++ {
+		alpha[j] = theta[j] * theta[j]
+	}
+	protos := mat.NewDense(opts.K, n)
+	copy(protos.Data(), theta[n:])
+	return &Model{
+		Prototypes: protos,
+		Alpha:      alpha,
+		P:          opts.P,
+		TakeRoot:   opts.TakeRoot,
+		Kernel:     opts.Kernel,
+	}
+}

@@ -1,0 +1,133 @@
+package ifair
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Model is a fitted iFair representation: K prototype vectors and the
+// attribute-weight vector α of the distance function (Def. 7). A model is
+// application-agnostic — it can transform any record with the same schema,
+// for use by arbitrary downstream classifiers and rankers.
+type Model struct {
+	// Prototypes is the K×N matrix whose rows are the prototype vectors
+	// v_k.
+	Prototypes *mat.Dense
+	// Alpha is the non-negative attribute weight vector of the distance
+	// kernel.
+	Alpha []float64
+	// P, TakeRoot and Kernel record the distance and membership
+	// configuration the model was trained with.
+	P        float64
+	TakeRoot bool
+	Kernel   Kernel
+
+	// Loss is the final training objective value (for best-of-restarts
+	// selection and reporting).
+	Loss float64
+}
+
+// K returns the number of prototypes.
+func (m *Model) K() int { return m.Prototypes.Rows() }
+
+// Dims returns the attribute dimensionality N.
+func (m *Model) Dims() int { return m.Prototypes.Cols() }
+
+// kernelDistance computes the (optionally rooted) weighted Minkowski
+// distance of Def. 7 between a record and a prototype row.
+func kernelDistance(x, v, alpha []float64, p float64, takeRoot bool) float64 {
+	var s float64
+	if p == 2 {
+		for n := range x {
+			d := x[n] - v[n]
+			s += alpha[n] * d * d
+		}
+	} else {
+		for n := range x {
+			s += alpha[n] * math.Pow(math.Abs(x[n]-v[n]), p)
+		}
+	}
+	if takeRoot {
+		return math.Pow(s, 1/p)
+	}
+	return s
+}
+
+// Probabilities returns the cluster-membership distribution u_i for a
+// single record. Under the default ExpKernel this is Def. 8:
+// u_ik = softmax_k(−d(x_i, v_k)); under InverseKernel the weights are
+// 1/(1 + d), normalised.
+func (m *Model) Probabilities(x []float64) []float64 {
+	if len(x) != m.Dims() {
+		panic(fmt.Sprintf("ifair: record has %d attributes, model expects %d", len(x), m.Dims()))
+	}
+	k := m.K()
+	u := make([]float64, k)
+	switch m.Kernel {
+	case InverseKernel:
+		var sum float64
+		for j := 0; j < k; j++ {
+			d := kernelDistance(x, m.Prototypes.Row(j), m.Alpha, m.P, m.TakeRoot)
+			u[j] = 1 / (1 + d)
+			sum += u[j]
+		}
+		for j := range u {
+			u[j] /= sum
+		}
+	default: // ExpKernel
+		maxZ := math.Inf(-1)
+		for j := 0; j < k; j++ {
+			z := -kernelDistance(x, m.Prototypes.Row(j), m.Alpha, m.P, m.TakeRoot)
+			u[j] = z
+			if z > maxZ {
+				maxZ = z
+			}
+		}
+		var sum float64
+		for j := range u {
+			u[j] = math.Exp(u[j] - maxZ)
+			sum += u[j]
+		}
+		for j := range u {
+			u[j] /= sum
+		}
+	}
+	return u
+}
+
+// TransformRow maps one record to its fair representation
+// x̃ = Σ_k u_k·v_k (Def. 3).
+func (m *Model) TransformRow(x []float64) []float64 {
+	u := m.Probabilities(x)
+	out := make([]float64, m.Dims())
+	for k, uk := range u {
+		mat.AddScaled(out, uk, m.Prototypes.Row(k))
+	}
+	return out
+}
+
+// Transform maps every row of x to its fair representation, returning the
+// M×N matrix X̃ = U·Vᵀ of Def. 2.
+func (m *Model) Transform(x *mat.Dense) *mat.Dense {
+	rows, cols := x.Dims()
+	if cols != m.Dims() {
+		panic(fmt.Sprintf("ifair: data has %d attributes, model expects %d", cols, m.Dims()))
+	}
+	out := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), m.TransformRow(x.Row(i)))
+	}
+	return out
+}
+
+// Memberships returns the full M×K probability matrix U for the rows of x.
+func (m *Model) Memberships(x *mat.Dense) *mat.Dense {
+	rows, _ := x.Dims()
+	out := mat.NewDense(rows, m.K())
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), m.Probabilities(x.Row(i)))
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package ifair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func fittedModel(t *testing.T, seed int64) (*Model, *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := randomData(rng, 30, 4)
+	model, err := Fit(x, Options{K: 3, Lambda: 1, Mu: 0.1, Seed: seed, MaxIterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, x
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	model, x := fittedModel(t, 1)
+	for i := 0; i < x.Rows(); i++ {
+		u := model.Probabilities(x.Row(i))
+		var sum float64
+		for _, p := range u {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v out of [0,1]", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+// Property: the transformed record lies in the convex hull of the
+// prototypes, so each coordinate is bounded by the prototype extremes.
+func TestTransformInConvexHull(t *testing.T) {
+	model, x := fittedModel(t, 2)
+	k, n := model.K(), model.Dims()
+	for i := 0; i < x.Rows(); i++ {
+		xt := model.TransformRow(x.Row(i))
+		for j := 0; j < n; j++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for kk := 0; kk < k; kk++ {
+				v := model.Prototypes.At(kk, j)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			if xt[j] < lo-1e-9 || xt[j] > hi+1e-9 {
+				t.Fatalf("coordinate %v outside prototype hull [%v, %v]", xt[j], lo, hi)
+			}
+		}
+	}
+}
+
+func TestTransformMatchesTransformRow(t *testing.T) {
+	model, x := fittedModel(t, 3)
+	xt := model.Transform(x)
+	for i := 0; i < x.Rows(); i++ {
+		row := model.TransformRow(x.Row(i))
+		for j := range row {
+			if xt.At(i, j) != row[j] {
+				t.Fatal("Transform disagrees with TransformRow")
+			}
+		}
+	}
+}
+
+func TestMembershipsShape(t *testing.T) {
+	model, x := fittedModel(t, 4)
+	u := model.Memberships(x)
+	if r, c := u.Dims(); r != x.Rows() || c != model.K() {
+		t.Fatalf("Memberships dims = %d×%d, want %d×%d", r, c, x.Rows(), model.K())
+	}
+}
+
+func TestTransformWrongWidthPanics(t *testing.T) {
+	model, _ := fittedModel(t, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.Transform(mat.NewDense(2, model.Dims()+1))
+}
+
+func TestProbabilitiesWrongWidthPanics(t *testing.T) {
+	model, _ := fittedModel(t, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.Probabilities(make([]float64, model.Dims()+2))
+}
+
+// Property: a record coincident with one prototype and far from the others
+// gets nearly all probability mass on that prototype.
+func TestProbabilitiesConcentrateOnNearestPrototype(t *testing.T) {
+	protos := mat.FromRows([][]float64{
+		{0, 0},
+		{10, 10},
+	})
+	model := &Model{Prototypes: protos, Alpha: []float64{1, 1}, P: 2}
+	u := model.Probabilities([]float64{0, 0})
+	if u[0] < 0.999 {
+		t.Fatalf("u = %v, want mass on prototype 0", u)
+	}
+}
+
+// Property: with zero α-weight on a coordinate, changing that coordinate
+// does not change the representation at all. This is the mechanism behind
+// iFair-b's protected-attribute invariance.
+func TestZeroWeightCoordinateInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		protos := randomData(rng, 3, 3)
+		model := &Model{Prototypes: protos, Alpha: []float64{1, 1, 0}, P: 2}
+		a := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := append([]float64(nil), a...)
+		b[2] = rng.NormFloat64() * 100 // change only the zero-weight coordinate
+		ta := model.TransformRow(a)
+		tb := model.TransformRow(b)
+		for j := range ta {
+			if math.Abs(ta[j]-tb[j]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelDistanceGeneralP(t *testing.T) {
+	x := []float64{0, 0}
+	v := []float64{3, 4}
+	w := []float64{1, 1}
+	if got := kernelDistance(x, v, w, 2, false); got != 25 {
+		t.Fatalf("squared p=2 distance = %v, want 25", got)
+	}
+	if got := kernelDistance(x, v, w, 2, true); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("rooted p=2 distance = %v, want 5", got)
+	}
+	if got := kernelDistance(x, v, w, 1, true); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("p=1 distance = %v, want 7", got)
+	}
+}

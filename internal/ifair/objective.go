@@ -1,0 +1,487 @@
+package ifair
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+// pair is one (i, j) record pair entering the fairness loss.
+type pair struct{ i, j int }
+
+// objective evaluates L = λ·L_util + µ·L_fair (Def. 9) and its gradient
+// with respect to the packed parameter vector
+//
+//	θ = [a_0 … a_{N−1}, v_{0,0} … v_{K−1,N−1}]
+//
+// where α_n = a_n² keeps attribute weights non-negative under the
+// unconstrained optimizer.
+//
+// Gradients are analytic for every supported configuration — any Minkowski
+// exponent p ≥ 1, the optional 1/p root, and both membership kernels; a
+// central-difference fallback remains available for validation
+// (Options.ForceNumericalGradient).
+type objective struct {
+	x      *mat.Dense // M×N training records
+	pairs  []pair     // fairness pairs
+	target []float64  // d(x*_i, x*_j) for each pair, squared Euclidean on non-protected dims
+	opts   Options
+	m, n   int
+
+	// scratch buffers reused across evaluations
+	alpha []float64
+	u     *mat.Dense // M×K memberships
+	raw   *mat.Dense // M×K rootless kernel distances s_ik (for the root chain)
+	gval  *mat.Dense // M×K kernel weights g(D_ik) (InverseKernel backward)
+	xt    *mat.Dense // M×N transformed records
+	g     *mat.Dense // M×N upstream gradient ∂L/∂x̃
+
+	// per-worker scratch (index 0 is also the sequential path)
+	workers   int
+	q         [][]float64  // upstream on u, one buffer per worker
+	lossPart  []float64    // partial losses
+	gPart     []*mat.Dense // partial upstream gradients (parallel fairness)
+	gradVPart [][]float64  // partial prototype gradients (parallel backward)
+	gradAPart [][]float64  // partial α gradients (parallel backward)
+}
+
+// newObjective precomputes the fairness pair list and target distances.
+func newObjective(x *mat.Dense, opts Options, rng *rand.Rand) *objective {
+	m, n := x.Dims()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	o := &objective{
+		x:       x,
+		opts:    opts,
+		m:       m,
+		n:       n,
+		alpha:   make([]float64, n),
+		u:       mat.NewDense(m, opts.K),
+		raw:     mat.NewDense(m, opts.K),
+		gval:    mat.NewDense(m, opts.K),
+		xt:      mat.NewDense(m, n),
+		g:       mat.NewDense(m, n),
+		workers: workers,
+	}
+	o.q = make([][]float64, workers)
+	o.lossPart = make([]float64, workers)
+	o.gradVPart = make([][]float64, workers)
+	o.gradAPart = make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		o.q[w] = make([]float64, opts.K)
+		if w > 0 {
+			// Worker 0 writes straight into the caller's gradient slices;
+			// only the extra workers need private partial buffers.
+			o.gradVPart[w] = make([]float64, opts.K*n)
+			o.gradAPart[w] = make([]float64, n)
+		}
+	}
+	if workers > 1 && opts.Mu > 0 {
+		o.gPart = make([]*mat.Dense, workers)
+		for w := 1; w < workers; w++ {
+			o.gPart[w] = mat.NewDense(m, n)
+		}
+	}
+	if opts.Mu > 0 {
+		o.pairs = buildPairs(m, opts, rng)
+		nonProt := nonProtectedIndices(n, opts.Protected)
+		o.target = make([]float64, len(o.pairs))
+		for p, pr := range o.pairs {
+			o.target[p] = maskedSqDist(x.Row(pr.i), x.Row(pr.j), nonProt)
+		}
+	}
+	return o
+}
+
+// buildPairs enumerates all pairs or samples PairSamples partners per
+// record, depending on the fairness mode.
+func buildPairs(m int, opts Options, rng *rand.Rand) []pair {
+	if opts.Fairness == PairwiseFairness {
+		pairs := make([]pair, 0, m*(m-1)/2)
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+		return pairs
+	}
+	pairs := make([]pair, 0, m*opts.PairSamples)
+	for i := 0; i < m; i++ {
+		for s := 0; s < opts.PairSamples; s++ {
+			j := rng.Intn(m)
+			if j == i {
+				continue
+			}
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	return pairs
+}
+
+// nonProtectedIndices returns the column indices not listed as protected.
+func nonProtectedIndices(n int, protected []int) []int {
+	isProt := make([]bool, n)
+	for _, p := range protected {
+		isProt[p] = true
+	}
+	out := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		if !isProt[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// maskedSqDist is the squared Euclidean distance restricted to the given
+// coordinate subset: d(x*_i, x*_j)² of Def. 1.
+func maskedSqDist(a, b []float64, idx []int) float64 {
+	var s float64
+	for _, j := range idx {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// paramLen returns the packed parameter-vector length.
+func (o *objective) paramLen() int { return o.n + o.opts.K*o.n }
+
+// decode unpacks θ into α (via α = a²) and a K×N prototype view.
+func (o *objective) decode(theta []float64) (alpha []float64, protos []float64) {
+	for j := 0; j < o.n; j++ {
+		o.alpha[j] = theta[j] * theta[j]
+	}
+	return o.alpha, theta[o.n:]
+}
+
+// Eval implements optimize.Objective.
+func (o *objective) Eval(theta, grad []float64) float64 {
+	if o.opts.analyticGradient() {
+		return o.evalAnalytic(theta, grad)
+	}
+	loss := o.lossOnly(theta)
+	optimize.NumericalGradient(o.lossOnly, theta, grad, 1e-6)
+	return loss
+}
+
+// rawDistance computes s = Σ α_n·|x_n − v_n|^p, the rootless Def. 7 form.
+func rawDistance(x, v, alpha []float64, p float64) float64 {
+	var s float64
+	if p == 2 {
+		for n := range x {
+			d := x[n] - v[n]
+			s += alpha[n] * d * d
+		}
+		return s
+	}
+	for n := range x {
+		s += alpha[n] * math.Pow(math.Abs(x[n]-v[n]), p)
+	}
+	return s
+}
+
+// forward computes memberships u, transforms x̃ and the utility loss (plus
+// its upstream gradient into o.g when withGrad is set). Raw distances and
+// kernel weights are recorded for the backward pass.
+func (o *objective) forward(alpha, protos []float64, withGrad bool) float64 {
+	runChunks(o.m, o.workers, func(w, lo, hi int) {
+		o.lossPart[w] = o.forwardRange(alpha, protos, withGrad, lo, hi)
+	})
+	var loss float64
+	for w := 0; w < numChunks(o.m, o.workers); w++ {
+		loss += o.lossPart[w]
+	}
+	return loss
+}
+
+// forwardRange runs the forward pass for records [lo, hi).
+func (o *objective) forwardRange(alpha, protos []float64, withGrad bool, lo, hi int) float64 {
+	k := o.opts.K
+	var loss float64
+	for i := lo; i < hi; i++ {
+		xi := o.x.Row(i)
+		ui := o.u.Row(i)
+		ri := o.raw.Row(i)
+		gv := o.gval.Row(i)
+
+		for kk := 0; kk < k; kk++ {
+			ri[kk] = rawDistance(xi, protos[kk*o.n:(kk+1)*o.n], alpha, o.opts.P)
+		}
+		switch o.opts.Kernel {
+		case InverseKernel:
+			var sum float64
+			for kk := 0; kk < k; kk++ {
+				d := ri[kk]
+				if o.opts.TakeRoot {
+					d = math.Pow(d, 1/o.opts.P)
+				}
+				gv[kk] = 1 / (1 + d)
+				sum += gv[kk]
+			}
+			for kk := 0; kk < k; kk++ {
+				ui[kk] = gv[kk] / sum
+			}
+		default: // ExpKernel: softmax over z = −D with max-shift
+			maxZ := math.Inf(-1)
+			for kk := 0; kk < k; kk++ {
+				d := ri[kk]
+				if o.opts.TakeRoot {
+					d = math.Pow(d, 1/o.opts.P)
+				}
+				z := -d
+				ui[kk] = z
+				if z > maxZ {
+					maxZ = z
+				}
+			}
+			var sum float64
+			for kk := 0; kk < k; kk++ {
+				ui[kk] = math.Exp(ui[kk] - maxZ)
+				sum += ui[kk]
+			}
+			for kk := 0; kk < k; kk++ {
+				ui[kk] /= sum
+			}
+		}
+
+		xti := o.xt.Row(i)
+		for n := range xti {
+			xti[n] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			mat.AddScaled(xti, ui[kk], protos[kk*o.n:(kk+1)*o.n])
+		}
+		if withGrad {
+			gi := o.g.Row(i)
+			for n := range gi {
+				gi[n] = 0
+			}
+		}
+		if o.opts.Lambda > 0 {
+			if withGrad {
+				gi := o.g.Row(i)
+				for n := 0; n < o.n; n++ {
+					r := xti[n] - xi[n]
+					loss += o.opts.Lambda * r * r
+					gi[n] += 2 * o.opts.Lambda * r
+				}
+			} else {
+				for n := 0; n < o.n; n++ {
+					r := xti[n] - xi[n]
+					loss += o.opts.Lambda * r * r
+				}
+			}
+		}
+	}
+	return loss
+}
+
+// fairnessLoss accumulates the pairwise loss; with withGrad it also adds
+// the upstream gradients into o.g. Because a pair touches two arbitrary
+// record rows, parallel workers accumulate into private partial matrices
+// that are reduced in worker order afterwards.
+func (o *objective) fairnessLoss(withGrad bool) float64 {
+	if o.opts.Mu == 0 || len(o.pairs) == 0 {
+		return 0
+	}
+	chunks := numChunks(len(o.pairs), o.workers)
+	if withGrad && chunks > 1 {
+		for w := 1; w < chunks; w++ {
+			clear(o.gPart[w].Data())
+		}
+	}
+	runChunks(len(o.pairs), o.workers, func(w, lo, hi int) {
+		dst := o.g
+		if w > 0 {
+			dst = o.gPart[w]
+		}
+		o.lossPart[w] = o.fairnessRange(withGrad, dst, lo, hi)
+	})
+	var loss float64
+	for w := 0; w < chunks; w++ {
+		loss += o.lossPart[w]
+	}
+	if withGrad && chunks > 1 {
+		g := o.g.Data()
+		for w := 1; w < chunks; w++ {
+			part := o.gPart[w].Data()
+			for i, v := range part {
+				g[i] += v
+			}
+		}
+	}
+	return loss
+}
+
+// fairnessRange evaluates pairs [lo, hi), writing upstream gradients into
+// dst when withGrad is set.
+func (o *objective) fairnessRange(withGrad bool, dst *mat.Dense, lo, hi int) float64 {
+	var loss float64
+	for p := lo; p < hi; p++ {
+		pr := o.pairs[p]
+		xa := o.xt.Row(pr.i)
+		xb := o.xt.Row(pr.j)
+		d := mat.SqDist(xa, xb)
+		e := d - o.target[p]
+		loss += o.opts.Mu * e * e
+		if withGrad {
+			w := 4 * o.opts.Mu * e
+			ga := dst.Row(pr.i)
+			gb := dst.Row(pr.j)
+			for n := 0; n < o.n; n++ {
+				diff := xa[n] - xb[n]
+				ga[n] += w * diff
+				gb[n] -= w * diff
+			}
+		}
+	}
+	return loss
+}
+
+// lossOnly evaluates the objective without gradients; it also serves as the
+// finite-difference target for ForceNumericalGradient.
+func (o *objective) lossOnly(theta []float64) float64 {
+	alpha, protos := o.decode(theta)
+	loss := o.forward(alpha, protos, false)
+	return loss + o.fairnessLoss(false)
+}
+
+// evalAnalytic computes the loss and its exact gradient. Derivation: with
+// raw distance s_ik = Σ_n α_n·|x_in − v_kn|^p, kernel input
+// D_ik = s_ik^{1/p} (or s_ik without the root), membership weight
+// g_ik = g(D_ik) and u = g/Σg, the chain rule gives for upstream
+// q_ik = ∂L/∂u_ik (here q_ik = (∂L/∂x̃_i)·v_k):
+//
+//	∂L/∂D_ik = (g'(D_ik)/S_i)·(q_ik − Σ_l u_il·q_il)
+//	           with g'/S = −u        for g = exp(−D)
+//	           and  g'/S = −u·g      for g = 1/(1+D)
+//	∂D/∂s    = 1 (no root) or (1/p)·s^{1/p−1}
+//	∂s/∂v_kn = −α_n·p·|x_in − v_kn|^{p−1}·sign(x_in − v_kn)
+//	∂s/∂α_n  = |x_in − v_kn|^p
+//	∂L/∂a_n  = ∂L/∂α_n · 2a_n                     (α = a²)
+//
+// plus the direct path ∂L/∂v_kn += Σ_i u_ik·(∂L/∂x̃_i)_n.
+func (o *objective) evalAnalytic(theta, grad []float64) float64 {
+	alpha, protos := o.decode(theta)
+	for i := range grad {
+		grad[i] = 0
+	}
+	gradA := grad[:o.n]
+	gradV := grad[o.n:]
+
+	loss := o.forward(alpha, protos, true)
+	loss += o.fairnessLoss(true)
+
+	chunks := numChunks(o.m, o.workers)
+	for w := 1; w < chunks; w++ {
+		clear(o.gradVPart[w])
+		clear(o.gradAPart[w])
+	}
+	runChunks(o.m, o.workers, func(w, lo, hi int) {
+		gvDst, gaDst := gradV, gradA
+		if w > 0 {
+			gvDst, gaDst = o.gradVPart[w], o.gradAPart[w]
+		}
+		o.backwardRange(alpha, protos, o.q[w], gvDst, gaDst, lo, hi)
+	})
+	for w := 1; w < chunks; w++ {
+		for i, v := range o.gradVPart[w] {
+			gradV[i] += v
+		}
+		for i, v := range o.gradAPart[w] {
+			gradA[i] += v
+		}
+	}
+
+	// chain through α = a².
+	for n := 0; n < o.n; n++ {
+		gradA[n] *= 2 * theta[n]
+	}
+	return loss
+}
+
+// backwardRange backpropagates records [lo, hi) into the given gradient
+// buffers, using q as per-worker scratch.
+func (o *objective) backwardRange(alpha, protos, q, gradV, gradA []float64, lo, hi int) {
+	k := o.opts.K
+	p := o.opts.P
+	for i := lo; i < hi; i++ {
+		xi := o.x.Row(i)
+		ui := o.u.Row(i)
+		ri := o.raw.Row(i)
+		gvi := o.gval.Row(i)
+		gi := o.g.Row(i)
+
+		var qbar float64
+		for kk := 0; kk < k; kk++ {
+			q[kk] = mat.Dot(gi, protos[kk*o.n:(kk+1)*o.n])
+			qbar += ui[kk] * q[kk]
+		}
+		for kk := 0; kk < k; kk++ {
+			uik := ui[kk]
+			centred := q[kk] - qbar
+			var dLdD float64
+			switch o.opts.Kernel {
+			case InverseKernel:
+				dLdD = -uik * gvi[kk] * centred
+			default:
+				dLdD = -uik * centred
+			}
+			dLds := dLdD
+			if o.opts.TakeRoot {
+				s := ri[kk]
+				if s < 1e-12 {
+					s = 1e-12
+				}
+				dLds *= math.Pow(s, 1/p-1) / p
+			}
+			vk := protos[kk*o.n : (kk+1)*o.n]
+			gv := gradV[kk*o.n : (kk+1)*o.n]
+			if p == 2 {
+				for n := 0; n < o.n; n++ {
+					diff := xi[n] - vk[n]
+					gv[n] += uik*gi[n] - dLds*2*alpha[n]*diff
+					gradA[n] += dLds * diff * diff
+				}
+			} else {
+				for n := 0; n < o.n; n++ {
+					diff := xi[n] - vk[n]
+					ad := math.Abs(diff)
+					pow1 := math.Pow(ad, p-1)
+					sign := 1.0
+					if diff < 0 {
+						sign = -1
+					}
+					gv[n] += uik*gi[n] - dLds*alpha[n]*p*pow1*sign
+					gradA[n] += dLds * pow1 * ad
+				}
+			}
+		}
+	}
+}
+
+// Losses evaluates the two loss components (unweighted by λ and µ) of a
+// fitted model on data x, for reporting and tests: the reconstruction loss
+// of Def. 4 and the fairness loss of Def. 5 over the objective's pair set.
+func Losses(m *Model, x *mat.Dense, opts Options) (util, fair float64) {
+	rows, _ := x.Dims()
+	xt := m.Transform(x)
+	for i := 0; i < rows; i++ {
+		util += mat.SqDist(x.Row(i), xt.Row(i))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pairs := buildPairs(rows, opts, rng)
+	nonProt := nonProtectedIndices(x.Cols(), opts.Protected)
+	for _, pr := range pairs {
+		d := mat.SqDist(xt.Row(pr.i), xt.Row(pr.j))
+		t := maskedSqDist(x.Row(pr.i), x.Row(pr.j), nonProt)
+		e := d - t
+		fair += e * e
+	}
+	return util, fair
+}

@@ -1,0 +1,206 @@
+// Package ifair implements the paper's core contribution: learning
+// individually fair data representations by probabilistic prototype
+// clustering (Sec. III).
+//
+// A model consists of K prototype vectors v_k and an attribute-weight
+// vector α. Each record x_i is softly assigned to prototypes through a
+// softmax over negative weighted distances (Def. 8) and represented as the
+// convex combination x̃_i = Σ_k u_ik·v_k (Def. 2–3). Parameters are learned
+// by minimising λ·L_util + µ·L_fair (Def. 9) with L-BFGS, where L_util is
+// the reconstruction loss (Def. 4) and L_fair preserves pairwise distances
+// computed on non-protected attributes (Def. 5).
+package ifair
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InitStrategy selects how the attribute-weight vector α is initialised,
+// distinguishing the paper's two variants (Sec. V-B).
+type InitStrategy int
+
+const (
+	// InitRandom draws every α_n uniformly from (0, 1) — the paper's
+	// iFair-a.
+	InitRandom InitStrategy = iota
+	// InitMaskedProtected draws non-protected α_n uniformly from (0, 1)
+	// and sets protected entries to a near-zero value — the paper's
+	// iFair-b ("initializing protected attributes to (near-)zero values
+	// ... avoiding zero values to allow slack").
+	InitMaskedProtected
+)
+
+// String implements fmt.Stringer.
+func (s InitStrategy) String() string {
+	switch s {
+	case InitRandom:
+		return "iFair-a"
+	case InitMaskedProtected:
+		return "iFair-b"
+	default:
+		return "unknown"
+	}
+}
+
+// FairnessMode selects how the individual-fairness loss pairs records.
+type FairnessMode int
+
+const (
+	// PairwiseFairness evaluates Def. 5 exactly over all record pairs
+	// (O(M²) per objective evaluation).
+	PairwiseFairness FairnessMode = iota
+	// SampledFairness pairs each record with PairSamples random partners,
+	// an O(M·S) approximation in the spirit of the paper's remark that the
+	// quadratic number of comparisons can be avoided.
+	SampledFairness
+)
+
+// String implements fmt.Stringer.
+func (m FairnessMode) String() string {
+	switch m {
+	case PairwiseFairness:
+		return "pairwise"
+	case SampledFairness:
+		return "sampled"
+	default:
+		return "unknown"
+	}
+}
+
+// Kernel selects how kernel distances become membership weights. The
+// paper notes that "our framework is flexible and easily supports other
+// kernels and distance functions" and leaves exploring them to future
+// work; both options below are implemented with analytic gradients.
+type Kernel int
+
+const (
+	// ExpKernel is the paper's choice (Def. 8): u_ik ∝ exp(−d(x_i, v_k)).
+	// With the squared p = 2 distance this is the Gaussian kernel.
+	ExpKernel Kernel = iota
+	// InverseKernel uses the heavy-tailed Student-t style weighting
+	// u_ik ∝ 1/(1 + d(x_i, v_k)), which decays polynomially and therefore
+	// keeps distant prototypes relevant (useful when clusters overlap).
+	InverseKernel
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case ExpKernel:
+		return "exp"
+	case InverseKernel:
+		return "inverse"
+	default:
+		return "unknown"
+	}
+}
+
+// PrototypeInit selects how prototype vectors are initialised.
+type PrototypeInit int
+
+const (
+	// InitDataPoints seeds each prototype with a randomly chosen training
+	// record plus small Gaussian noise. This converges faster on
+	// standardised data and is the default.
+	InitDataPoints PrototypeInit = iota
+	// InitUniform draws every prototype coordinate uniformly from (0, 1),
+	// exactly as stated in Sec. V-B of the paper.
+	InitUniform
+)
+
+// Options configures Fit. The zero value is not valid: K must be set.
+type Options struct {
+	// K is the number of prototypes (the latent dimensionality). The paper
+	// grid-searches K ∈ {10, 20, 30}.
+	K int
+	// Lambda weights the reconstruction (utility) loss L_util.
+	Lambda float64
+	// Mu weights the individual-fairness loss L_fair.
+	Mu float64
+	// Protected lists the column indices of protected attributes. It may
+	// be empty (the paper explicitly allows l = N).
+	Protected []int
+
+	// Init selects iFair-a or iFair-b initialisation of α.
+	Init InitStrategy
+	// ProtoInit selects prototype initialisation.
+	ProtoInit PrototypeInit
+	// NearZero is the α value assigned to protected attributes under
+	// InitMaskedProtected. Default 0.01.
+	NearZero float64
+
+	// Fairness selects the pairing strategy for L_fair.
+	Fairness FairnessMode
+	// PairSamples is the number of random partners per record under
+	// SampledFairness. Default 16.
+	PairSamples int
+
+	// P is the Minkowski exponent of Def. 7 (p ≥ 1). Default 2. All
+	// exponents train with analytic gradients; note p values near 1 have
+	// subgradient kinks at exactly-equal coordinates.
+	P float64
+	// TakeRoot applies the 1/p root of Def. 7 literally instead of using
+	// the rootless form (the Gaussian-kernel convention used by the
+	// reference implementation).
+	TakeRoot bool
+	// Kernel selects the membership weighting (Def. 8 by default).
+	Kernel Kernel
+	// ForceNumericalGradient trains with central finite differences
+	// instead of the analytic gradient — retained for validation and the
+	// gradient ablation bench; far slower.
+	ForceNumericalGradient bool
+
+	// Workers is the number of goroutines evaluating the objective.
+	// Values ≤ 1 run sequentially. Results are deterministic for a fixed
+	// worker count (partial sums are reduced in worker order) but may
+	// differ across worker counts in the last floating-point bits.
+	Workers int
+
+	// Restarts is the number of random restarts; the best final loss wins.
+	// The paper reports the best of 3 runs. Default 1.
+	Restarts int
+	// MaxIterations bounds L-BFGS iterations per restart. Default 150.
+	MaxIterations int
+	// UseGradientDescent switches the optimiser from L-BFGS to plain
+	// gradient descent (ablation support).
+	UseGradientDescent bool
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (o *Options) fill(cols int) error {
+	if o.K <= 0 {
+		return errors.New("ifair: Options.K must be positive")
+	}
+	if o.Lambda < 0 || o.Mu < 0 {
+		return errors.New("ifair: Lambda and Mu must be non-negative")
+	}
+	for _, p := range o.Protected {
+		if p < 0 || p >= cols {
+			return fmt.Errorf("ifair: protected index %d out of range for %d columns", p, cols)
+		}
+	}
+	if o.NearZero <= 0 {
+		o.NearZero = 0.01
+	}
+	if o.PairSamples <= 0 {
+		o.PairSamples = 16
+	}
+	if o.P == 0 {
+		o.P = 2
+	}
+	if o.P < 1 {
+		return fmt.Errorf("ifair: Minkowski exponent p = %v is not a metric (need p ≥ 1)", o.P)
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 150
+	}
+	return nil
+}
+
+// analyticGradient reports whether the fast analytic-gradient path applies.
+func (o *Options) analyticGradient() bool { return !o.ForceNumericalGradient }

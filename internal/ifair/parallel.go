@@ -1,0 +1,49 @@
+package ifair
+
+import "sync"
+
+// runChunks splits the half-open range [0, total) into one contiguous
+// chunk per worker and runs fn concurrently. fn receives the worker index
+// and its chunk bounds. With workers ≤ 1 it runs inline.
+//
+// Chunk boundaries depend only on (total, workers), so any reduction that
+// combines per-worker partials in worker order is deterministic for a
+// fixed worker count.
+func runChunks(total, workers int, fn func(worker, lo, hi int)) {
+	if workers <= 1 || total <= 1 {
+		fn(0, 0, total)
+		return
+	}
+	if workers > total {
+		workers = total
+	}
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// numChunks returns how many chunks runChunks will actually use.
+func numChunks(total, workers int) int {
+	if workers <= 1 || total <= 1 {
+		return 1
+	}
+	if workers > total {
+		workers = total
+	}
+	return workers
+}

@@ -1,0 +1,127 @@
+package ifair
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunChunksCoversRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 1 + rng.Intn(50)
+		workers := 1 + rng.Intn(8)
+		covered := make([]int, total)
+		runChunks(total, workers, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunChunksSequentialFallback(t *testing.T) {
+	calls := 0
+	runChunks(10, 1, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("sequential chunk = (%d, %d, %d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestNumChunksMatchesRunChunks(t *testing.T) {
+	for total := 1; total <= 20; total++ {
+		for workers := 1; workers <= 6; workers++ {
+			var calls atomic.Int64
+			runChunks(total, workers, func(w, lo, hi int) { calls.Add(1) })
+			if got := numChunks(total, workers); int64(got) < calls.Load() {
+				t.Fatalf("numChunks(%d,%d) = %d < actual %d", total, workers, got, calls.Load())
+			}
+		}
+	}
+}
+
+// TestParallelGradientMatchesSequential is the correctness anchor for the
+// parallel path: same loss and near-identical gradient for any worker
+// count (partial sums reorder, so exact equality is not required).
+func TestParallelGradientMatchesSequential(t *testing.T) {
+	for _, kernel := range []Kernel{ExpKernel, InverseKernel} {
+		rng := rand.New(rand.NewSource(3))
+		x := randomData(rng, 40, 5)
+		base := Options{K: 4, Lambda: 1, Mu: 1, Kernel: kernel, Protected: []int{4}}
+		if err := base.fill(5); err != nil {
+			t.Fatal(err)
+		}
+		seqObj := newObjective(x, base, rand.New(rand.NewSource(1)))
+		theta := initialTheta(x, base, rand.New(rand.NewSource(2)))
+		gSeq := make([]float64, seqObj.paramLen())
+		lossSeq := seqObj.Eval(theta, gSeq)
+
+		for _, workers := range []int{2, 3, 7, 16} {
+			par := base
+			par.Workers = workers
+			parObj := newObjective(x, par, rand.New(rand.NewSource(1)))
+			gPar := make([]float64, parObj.paramLen())
+			lossPar := parObj.Eval(theta, gPar)
+			if math.Abs(lossSeq-lossPar) > 1e-9*(1+math.Abs(lossSeq)) {
+				t.Fatalf("kernel %v workers %d: loss %v vs %v", kernel, workers, lossPar, lossSeq)
+			}
+			for i := range gSeq {
+				denom := math.Max(1, math.Abs(gSeq[i]))
+				if math.Abs(gSeq[i]-gPar[i])/denom > 1e-9 {
+					t.Fatalf("kernel %v workers %d: grad[%d] %v vs %v", kernel, workers, i, gPar[i], gSeq[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEvalDeterministicForFixedWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomData(rng, 30, 4)
+	opts := Options{K: 3, Lambda: 1, Mu: 1, Workers: 4}
+	if err := opts.fill(4); err != nil {
+		t.Fatal(err)
+	}
+	obj := newObjective(x, opts, rand.New(rand.NewSource(1)))
+	theta := initialTheta(x, opts, rand.New(rand.NewSource(2)))
+	g1 := make([]float64, obj.paramLen())
+	g2 := make([]float64, obj.paramLen())
+	l1 := obj.Eval(theta, g1)
+	l2 := obj.Eval(theta, g2)
+	if l1 != l2 {
+		t.Fatalf("losses differ across evaluations: %v vs %v", l1, l2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("gradient not bitwise deterministic for fixed worker count")
+		}
+	}
+}
+
+func TestFitParallelConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randomData(rng, 60, 4)
+	model, err := Fit(x, Options{K: 4, Lambda: 1, Mu: 1, Workers: 4, Seed: 1, MaxIterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(model.Loss) || model.Loss < 0 {
+		t.Fatalf("loss = %v", model.Loss)
+	}
+}

@@ -1,0 +1,83 @@
+package ifair
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mat"
+)
+
+// modelJSON is the on-disk representation of a fitted model. The format is
+// versioned so future changes stay backward compatible.
+type modelJSON struct {
+	Version    int       `json:"version"`
+	K          int       `json:"k"`
+	N          int       `json:"n"`
+	P          float64   `json:"p"`
+	TakeRoot   bool      `json:"take_root"`
+	Kernel     int       `json:"kernel,omitempty"`
+	Alpha      []float64 `json:"alpha"`
+	Prototypes []float64 `json:"prototypes"` // row-major K×N
+	Loss       float64   `json:"loss"`
+}
+
+const modelFormatVersion = 1
+
+// Encode writes the model as versioned JSON, so trained representations
+// can be deployed without retraining (the paper's "train once, use for
+// arbitrary downstream applications" story).
+func (m *Model) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{
+		Version:    modelFormatVersion,
+		K:          m.K(),
+		N:          m.Dims(),
+		P:          m.P,
+		TakeRoot:   m.TakeRoot,
+		Kernel:     int(m.Kernel),
+		Alpha:      m.Alpha,
+		Prototypes: m.Prototypes.Data(),
+		Loss:       m.Loss,
+	})
+}
+
+// DecodeModel reads a model previously written by Encode.
+func DecodeModel(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("ifair: decode model: %w", err)
+	}
+	if mj.Version != modelFormatVersion {
+		return nil, fmt.Errorf("ifair: unsupported model format version %d (want %d)", mj.Version, modelFormatVersion)
+	}
+	if mj.K <= 0 || mj.N <= 0 {
+		return nil, fmt.Errorf("ifair: invalid model dimensions K=%d N=%d", mj.K, mj.N)
+	}
+	if len(mj.Alpha) != mj.N {
+		return nil, fmt.Errorf("ifair: alpha length %d does not match N=%d", len(mj.Alpha), mj.N)
+	}
+	if len(mj.Prototypes) != mj.K*mj.N {
+		return nil, fmt.Errorf("ifair: prototype data length %d does not match K×N=%d", len(mj.Prototypes), mj.K*mj.N)
+	}
+	for i, a := range mj.Alpha {
+		if a < 0 {
+			return nil, fmt.Errorf("ifair: negative attribute weight alpha[%d]=%v", i, a)
+		}
+	}
+	p := mj.P
+	if p == 0 {
+		p = 2
+	}
+	if mj.Kernel < int(ExpKernel) || mj.Kernel > int(InverseKernel) {
+		return nil, fmt.Errorf("ifair: unknown kernel id %d", mj.Kernel)
+	}
+	return &Model{
+		Prototypes: mat.NewDenseData(mj.K, mj.N, mj.Prototypes),
+		Alpha:      mj.Alpha,
+		P:          p,
+		TakeRoot:   mj.TakeRoot,
+		Kernel:     Kernel(mj.Kernel),
+		Loss:       mj.Loss,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package ifair
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	model, x := fittedModel(t, 21)
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(got.Prototypes, model.Prototypes, 0) {
+		t.Fatal("prototypes changed in round trip")
+	}
+	for i := range model.Alpha {
+		if got.Alpha[i] != model.Alpha[i] {
+			t.Fatal("alpha changed in round trip")
+		}
+	}
+	if got.P != model.P || got.TakeRoot != model.TakeRoot || got.Loss != model.Loss {
+		t.Fatal("scalar fields changed in round trip")
+	}
+	// The decoded model must transform identically.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5; i++ {
+		rec := make([]float64, model.Dims())
+		for j := range rec {
+			rec[j] = rng.NormFloat64()
+		}
+		a := model.TransformRow(rec)
+		b := got.TransformRow(rec)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("decoded model transforms differently")
+			}
+		}
+	}
+	_ = x
+}
+
+func TestDecodeModelRejectsGarbage(t *testing.T) {
+	if _, err := DecodeModel(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error for invalid JSON")
+	}
+}
+
+func TestDecodeModelRejectsWrongVersion(t *testing.T) {
+	r := strings.NewReader(`{"version": 99, "k": 1, "n": 1, "alpha": [1], "prototypes": [0]}`)
+	if _, err := DecodeModel(r); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version error", err)
+	}
+}
+
+func TestDecodeModelValidatesShapes(t *testing.T) {
+	cases := map[string]string{
+		"bad dims":        `{"version":1,"k":0,"n":1,"alpha":[1],"prototypes":[]}`,
+		"alpha mismatch":  `{"version":1,"k":1,"n":2,"alpha":[1],"prototypes":[0,0]}`,
+		"proto mismatch":  `{"version":1,"k":2,"n":2,"alpha":[1,1],"prototypes":[0,0]}`,
+		"negative weight": `{"version":1,"k":1,"n":1,"alpha":[-1],"prototypes":[0]}`,
+	}
+	for name, payload := range cases {
+		if _, err := DecodeModel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeModelRejectsUnknownKernel(t *testing.T) {
+	r := strings.NewReader(`{"version":1,"k":1,"n":1,"kernel":7,"alpha":[1],"prototypes":[0]}`)
+	if _, err := DecodeModel(r); err == nil || !strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("err = %v, want kernel error", err)
+	}
+}
+
+func TestEncodeDecodePreservesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randomData(rng, 20, 3)
+	model, err := Fit(x, Options{K: 2, Lambda: 1, Mu: 1, Kernel: InverseKernel, Seed: 1, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kernel != InverseKernel {
+		t.Fatalf("kernel = %v, want inverse", got.Kernel)
+	}
+}
+
+func TestDecodeModelDefaultsPToTwo(t *testing.T) {
+	r := strings.NewReader(`{"version":1,"k":1,"n":1,"alpha":[1],"prototypes":[0.5]}`)
+	m, err := DecodeModel(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 2 {
+		t.Fatalf("P = %v, want default 2", m.P)
+	}
+}

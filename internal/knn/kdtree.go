@@ -1,0 +1,230 @@
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// KDTree is a k-d tree over matrix rows for exact nearest-neighbour
+// queries. For the low-to-moderate dimensionalities of the encoded
+// datasets it answers kNN queries in roughly logarithmic time per probe,
+// replacing the brute-force scan for large record counts while returning
+// exactly the same neighbours (including the deterministic index
+// tie-break).
+type KDTree struct {
+	data *mat.Dense
+	// nodes is a heap-like implicit tree stored as index permutations:
+	// node i splits on axis[i] at the row idx[i].
+	idx   []int
+	axis  []int
+	left  []int // child node positions, −1 when absent
+	right []int
+	root  int
+	dims  int
+}
+
+// NewKDTree builds a k-d tree over the rows of data (retained, not
+// copied). Axes are chosen round-robin and split at the median, giving a
+// balanced tree in O(M log² M).
+func NewKDTree(data *mat.Dense) *KDTree {
+	m, n := data.Dims()
+	t := &KDTree{data: data, dims: n, root: -1}
+	if m == 0 || n == 0 {
+		return t
+	}
+	rows := make([]int, m)
+	for i := range rows {
+		rows[i] = i
+	}
+	t.root = t.build(rows, 0)
+	return t
+}
+
+// build recursively constructs the subtree over rows, splitting on depth %
+// dims, and returns the node position.
+func (t *KDTree) build(rows []int, depth int) int {
+	if len(rows) == 0 {
+		return -1
+	}
+	axis := depth % t.dims
+	sort.Slice(rows, func(a, b int) bool {
+		va, vb := t.data.At(rows[a], axis), t.data.At(rows[b], axis)
+		if va != vb {
+			return va < vb
+		}
+		return rows[a] < rows[b]
+	})
+	mid := len(rows) / 2
+	node := len(t.idx)
+	t.idx = append(t.idx, rows[mid])
+	t.axis = append(t.axis, axis)
+	t.left = append(t.left, -1)
+	t.right = append(t.right, -1)
+	// Children are built after the parent is appended, so record the
+	// returned positions explicitly.
+	l := t.build(append([]int(nil), rows[:mid]...), depth+1)
+	r := t.build(append([]int(nil), rows[mid+1:]...), depth+1)
+	t.left[node] = l
+	t.right[node] = r
+	return node
+}
+
+// neighHeap is a bounded max-heap of (dist, idx) candidates, keeping the k
+// best seen so far. Ties order by smaller index (so the worst element is
+// the largest (dist, idx) pair, matching the brute-force tie-break).
+type neighHeap struct {
+	dist []float64
+	idx  []int
+	k    int
+}
+
+func (h *neighHeap) worse(a, b int) bool { // element a is worse than b
+	if h.dist[a] != h.dist[b] {
+		return h.dist[a] > h.dist[b]
+	}
+	return h.idx[a] > h.idx[b]
+}
+
+func (h *neighHeap) full() bool { return len(h.idx) == h.k }
+
+// wouldAccept reports whether a candidate with the given distance and
+// index would enter the heap.
+func (h *neighHeap) wouldAccept(d float64, i int) bool {
+	if len(h.idx) < h.k {
+		return true
+	}
+	if d != h.dist[0] {
+		return d < h.dist[0]
+	}
+	return i < h.idx[0]
+}
+
+func (h *neighHeap) push(d float64, i int) {
+	if len(h.idx) < h.k {
+		h.dist = append(h.dist, d)
+		h.idx = append(h.idx, i)
+		j := len(h.idx) - 1
+		for j > 0 {
+			parent := (j - 1) / 2
+			if !h.worse(j, parent) {
+				break
+			}
+			h.swap(j, parent)
+			j = parent
+		}
+		return
+	}
+	if !h.wouldAccept(d, i) {
+		return
+	}
+	h.dist[0], h.idx[0] = d, i
+	h.siftDown(0)
+}
+
+func (h *neighHeap) swap(a, b int) {
+	h.dist[a], h.dist[b] = h.dist[b], h.dist[a]
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+}
+
+func (h *neighHeap) siftDown(j int) {
+	n := len(h.idx)
+	for {
+		l, r := 2*j+1, 2*j+2
+		worst := j
+		if l < n && h.worse(l, worst) {
+			worst = l
+		}
+		if r < n && h.worse(r, worst) {
+			worst = r
+		}
+		if worst == j {
+			return
+		}
+		h.swap(j, worst)
+		j = worst
+	}
+}
+
+// sorted returns the heap contents ordered best-first.
+func (h *neighHeap) sorted() []int {
+	type cand struct {
+		d float64
+		i int
+	}
+	cs := make([]cand, len(h.idx))
+	for j := range cs {
+		cs[j] = cand{h.dist[j], h.idx[j]}
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].d != cs[b].d {
+			return cs[a].d < cs[b].d
+		}
+		return cs[a].i < cs[b].i
+	})
+	out := make([]int, len(cs))
+	for j, c := range cs {
+		out[j] = c.i
+	}
+	return out
+}
+
+// Neighbors returns the k nearest rows to row i, excluding i itself,
+// matching Index.Neighbors exactly.
+func (t *KDTree) Neighbors(i, k int) []int {
+	m := t.data.Rows()
+	if i < 0 || i >= m {
+		panic(fmt.Sprintf("knn: row %d out of range %d", i, m))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("knn: negative k %d", k))
+	}
+	if k == 0 {
+		return []int{}
+	}
+	if k > m-1 {
+		k = m - 1
+	}
+	if k <= 0 {
+		return []int{}
+	}
+	h := &neighHeap{k: k}
+	t.search(t.root, t.data.Row(i), i, h)
+	return h.sorted()
+}
+
+// search walks the tree, pruning subtrees whose splitting plane is further
+// than the current worst accepted neighbour.
+func (t *KDTree) search(node int, query []float64, exclude int, h *neighHeap) {
+	if node == -1 {
+		return
+	}
+	row := t.idx[node]
+	if row != exclude {
+		h.push(mat.SqDist(query, t.data.Row(row)), row)
+	}
+	axis := t.axis[node]
+	delta := query[axis] - t.data.At(row, axis)
+	var near, far int
+	if delta < 0 {
+		near, far = t.left[node], t.right[node]
+	} else {
+		near, far = t.right[node], t.left[node]
+	}
+	t.search(near, query, exclude, h)
+	// The far side can only contain closer points if the plane distance
+	// beats the current worst; with ties possible, use ≤.
+	if !h.full() || delta*delta <= h.dist[0] {
+		t.search(far, query, exclude, h)
+	}
+}
+
+// AllNeighbors returns the k-nearest-neighbour lists for every row.
+func (t *KDTree) AllNeighbors(k int) [][]int {
+	out := make([][]int, t.data.Rows())
+	for i := range out {
+		out[i] = t.Neighbors(i, k)
+	}
+	return out
+}

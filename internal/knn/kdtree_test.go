@@ -1,0 +1,154 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// TestKDTreeMatchesBruteForce is the correctness anchor: on random data
+// the tree must return exactly the neighbour lists of the exhaustive scan,
+// including index tie-breaks.
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(60)
+		n := 1 + rng.Intn(5)
+		data := mat.NewDense(m, n)
+		for i := range data.Data() {
+			// Coarse values force distance ties.
+			data.Data()[i] = float64(rng.Intn(4))
+		}
+		tree := NewKDTree(data)
+		brute := NewIndex(data)
+		k := 1 + rng.Intn(8)
+		for i := 0; i < m; i++ {
+			got := tree.Neighbors(i, k)
+			want := brute.Neighbors(i, k)
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKDTreeContinuousData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, n := 200, 6
+	data := mat.NewDense(m, n)
+	for i := range data.Data() {
+		data.Data()[i] = rng.NormFloat64()
+	}
+	tree := NewKDTree(data)
+	brute := NewIndex(data)
+	for i := 0; i < m; i += 13 {
+		got := tree.Neighbors(i, 10)
+		want := brute.Neighbors(i, 10)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d neighbour %d: got %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestKDTreeAllNeighbors(t *testing.T) {
+	data := mat.FromRows([][]float64{{0}, {1}, {2}, {10}})
+	all := NewKDTree(data).AllNeighbors(2)
+	if len(all) != 4 {
+		t.Fatalf("len = %d", len(all))
+	}
+	if all[0][0] != 1 || all[0][1] != 2 {
+		t.Fatalf("AllNeighbors[0] = %v, want [1 2]", all[0])
+	}
+}
+
+func TestKDTreeKZero(t *testing.T) {
+	data := mat.FromRows([][]float64{{0}, {1}})
+	if got := NewKDTree(data).Neighbors(0, 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+func TestKDTreeKLargerThanData(t *testing.T) {
+	data := mat.FromRows([][]float64{{0}, {1}, {5}})
+	got := NewKDTree(data).Neighbors(0, 10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestKDTreeSingleRow(t *testing.T) {
+	data := mat.FromRows([][]float64{{3, 4}})
+	if got := NewKDTree(data).Neighbors(0, 5); len(got) != 0 {
+		t.Fatalf("single-row tree returned %v", got)
+	}
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	tree := NewKDTree(mat.NewDense(0, 0))
+	if tree.root != -1 {
+		t.Fatal("empty tree should have no root")
+	}
+}
+
+func TestKDTreeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKDTree(mat.NewDense(2, 1)).Neighbors(5, 1)
+}
+
+func TestKDTreeNegativeKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKDTree(mat.NewDense(2, 1)).Neighbors(0, -2)
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	// All identical points: neighbours are decided purely by index.
+	data := mat.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}})
+	got := NewKDTree(data).Neighbors(2, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("got %v, want [0 1]", got)
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 2000, 8
+	data := mat.NewDense(m, n)
+	for i := range data.Data() {
+		data.Data()[i] = rng.NormFloat64()
+	}
+	b.Run("BruteForce", func(b *testing.B) {
+		ix := NewIndex(data)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Neighbors(i%m, 10)
+		}
+	})
+	b.Run("KDTree", func(b *testing.B) {
+		tree := NewKDTree(data)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tree.Neighbors(i%m, 10)
+		}
+	})
+}

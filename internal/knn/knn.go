@@ -1,0 +1,78 @@
+// Package knn provides exact k-nearest-neighbour search over row vectors.
+//
+// The paper's individual-fairness metric yNN (Sec. V-C) is defined through
+// the k = 10 nearest neighbours of each record computed on the original,
+// non-protected attribute values; this package supplies those neighbour
+// sets.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Index is a brute-force exact nearest-neighbour index over the rows of a
+// matrix. Queries are O(M·N) per lookup, which is ample for the dataset
+// sizes in the paper's evaluation.
+type Index struct {
+	data *mat.Dense
+}
+
+// NewIndex builds an index over the rows of data. The matrix is retained
+// (not copied); callers must not mutate it while querying.
+func NewIndex(data *mat.Dense) *Index {
+	return &Index{data: data}
+}
+
+// Len returns the number of indexed rows.
+func (ix *Index) Len() int { return ix.data.Rows() }
+
+// Neighbors returns the indices of the k nearest rows to row i, excluding i
+// itself, ordered by increasing squared Euclidean distance (ties broken by
+// index). If fewer than k other rows exist, all of them are returned.
+func (ix *Index) Neighbors(i, k int) []int {
+	m := ix.data.Rows()
+	if i < 0 || i >= m {
+		panic(fmt.Sprintf("knn: row %d out of range %d", i, m))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("knn: negative k %d", k))
+	}
+	query := ix.data.Row(i)
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, 0, m-1)
+	for j := 0; j < m; j++ {
+		if j == i {
+			continue
+		}
+		cands = append(cands, cand{idx: j, dist: mat.SqDist(query, ix.data.Row(j))})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for j := 0; j < k; j++ {
+		out[j] = cands[j].idx
+	}
+	return out
+}
+
+// AllNeighbors returns the k-nearest-neighbour lists for every row.
+func (ix *Index) AllNeighbors(k int) [][]int {
+	out := make([][]int, ix.data.Rows())
+	for i := range out {
+		out[i] = ix.Neighbors(i, k)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package lfr reimplements the Learning Fair Representations model of
+// Zemel et al. (ICML 2013) — reference [28] of the paper and its main
+// baseline for the classification experiments.
+//
+// LFR also learns K prototypes with softmax memberships, but optimises a
+// three-term objective
+//
+//	L = A_z·L_z + A_x·L_x + A_y·L_y
+//
+// where L_x is the reconstruction loss, L_y the log-loss of a classifier
+// that predicts the label from prototype memberships via per-prototype
+// label scores w_k ∈ (0,1), and L_z the statistical-parity gap of the mean
+// memberships between the protected group and its complement. Unlike
+// iFair, LFR is therefore tied to one binary label and one pre-specified
+// protected group — the very limitations the paper's method removes.
+package lfr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+// Options configures Fit.
+type Options struct {
+	// K is the number of prototypes.
+	K int
+	// Az, Ax, Ay weight statistical parity, reconstruction and prediction
+	// loss respectively.
+	Az, Ax, Ay float64
+	// Restarts selects best-of-N random initialisations. Default 1.
+	Restarts int
+	// MaxIterations bounds L-BFGS iterations per restart. Default 150.
+	MaxIterations int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (o *Options) fill() error {
+	if o.K <= 0 {
+		return errors.New("lfr: Options.K must be positive")
+	}
+	if o.Az < 0 || o.Ax < 0 || o.Ay < 0 {
+		return errors.New("lfr: loss weights must be non-negative")
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 150
+	}
+	return nil
+}
+
+// Model is a fitted LFR representation.
+type Model struct {
+	// Prototypes is the K×N prototype matrix.
+	Prototypes *mat.Dense
+	// W holds the per-prototype label scores in (0, 1).
+	W []float64
+	// Loss is the final training objective value.
+	Loss float64
+}
+
+// ErrNoData is returned for empty training input.
+var ErrNoData = errors.New("lfr: no training data")
+
+// Fit trains LFR on records x, binary labels y and protected-group
+// membership flags.
+func Fit(x *mat.Dense, y, protected []bool, opts Options) (*Model, error) {
+	m, n := x.Dims()
+	if m == 0 || n == 0 {
+		return nil, ErrNoData
+	}
+	if len(y) != m || len(protected) != m {
+		return nil, errors.New("lfr: labels/protected flags must match row count")
+	}
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	obj := newObjective(x, y, protected, opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var best *Model
+	for r := 0; r < opts.Restarts; r++ {
+		theta := obj.initialTheta(rng)
+		res, err := optimize.LBFGS(obj, theta, optimize.Settings{MaxIterations: opts.MaxIterations, GradTol: 1e-5})
+		if err != nil {
+			return nil, err
+		}
+		model := obj.modelFromTheta(res.X)
+		model.Loss = res.F
+		if best == nil || model.Loss < best.Loss {
+			best = model
+		}
+	}
+	return best, nil
+}
+
+// Probabilities returns the membership distribution of one record.
+func (md *Model) Probabilities(x []float64) []float64 {
+	k := md.Prototypes.Rows()
+	u := make([]float64, k)
+	maxZ := math.Inf(-1)
+	for j := 0; j < k; j++ {
+		z := -mat.SqDist(x, md.Prototypes.Row(j))
+		u[j] = z
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	var sum float64
+	for j := range u {
+		u[j] = math.Exp(u[j] - maxZ)
+		sum += u[j]
+	}
+	for j := range u {
+		u[j] /= sum
+	}
+	return u
+}
+
+// TransformRow maps one record to its LFR representation x̂ = Σ_k u_k·v_k.
+func (md *Model) TransformRow(x []float64) []float64 {
+	u := md.Probabilities(x)
+	out := make([]float64, md.Prototypes.Cols())
+	for k, uk := range u {
+		mat.AddScaled(out, uk, md.Prototypes.Row(k))
+	}
+	return out
+}
+
+// Transform maps every row of x.
+func (md *Model) Transform(x *mat.Dense) *mat.Dense {
+	rows, cols := x.Dims()
+	out := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), md.TransformRow(x.Row(i)))
+	}
+	return out
+}
+
+// PredictProba returns LFR's own label predictions ŷ_i = Σ_k u_ik·w_k.
+func (md *Model) PredictProba(x *mat.Dense) []float64 {
+	rows, _ := x.Dims()
+	out := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		u := md.Probabilities(x.Row(i))
+		var p float64
+		for k, uk := range u {
+			p += uk * md.W[k]
+		}
+		out[i] = p
+	}
+	return out
+}

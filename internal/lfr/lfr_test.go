@@ -1,0 +1,220 @@
+package lfr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/optimize"
+)
+
+// labelledData builds records whose label depends on feature 0 and whose
+// protected flag correlates with feature 1.
+func labelledData(rng *rand.Rand, m int) (*mat.Dense, []bool, []bool) {
+	x := mat.NewDense(m, 3)
+	y := make([]bool, m)
+	prot := make([]bool, m)
+	for i := 0; i < m; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		prot[i] = b > 0.3
+		x.Set(i, 2, boolTo01(prot[i]))
+		y[i] = a > 0
+	}
+	return x, y, prot
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestGradientMatchesNumeric(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"reconstruction only", Options{K: 3, Ax: 1}},
+		{"prediction only", Options{K: 3, Ay: 1}},
+		{"parity only", Options{K: 3, Az: 1}},
+		{"all terms", Options{K: 3, Az: 2, Ax: 0.5, Ay: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			x, y, prot := labelledData(rng, 10)
+			if err := tc.opts.fill(); err != nil {
+				t.Fatal(err)
+			}
+			obj := newObjective(x, y, prot, tc.opts)
+			for trial := 0; trial < 3; trial++ {
+				theta := obj.initialTheta(rng)
+				if disc := optimize.CheckGradient(obj, theta, 1e-5); disc > 1e-4 {
+					t.Fatalf("trial %d: gradient discrepancy %v", trial, disc)
+				}
+			}
+		})
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, prot := labelledData(rng, 10)
+	if _, err := Fit(x, y, prot, Options{K: 0}); err == nil {
+		t.Fatal("expected error for K = 0")
+	}
+	if _, err := Fit(x, y, prot, Options{K: 2, Ax: -1}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if _, err := Fit(x, y[:3], prot, Options{K: 2, Ax: 1}); err == nil {
+		t.Fatal("expected error for label length mismatch")
+	}
+	if _, err := Fit(mat.NewDense(0, 0), nil, nil, Options{K: 2}); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestFitLearnsLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y, prot := labelledData(rng, 120)
+	model, err := Fit(x, y, prot, Options{K: 6, Ax: 0.01, Ay: 1, Az: 0.1, Seed: 3, MaxIterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(model.PredictProba(x), y); acc < 0.8 {
+		t.Fatalf("LFR internal classifier accuracy = %v, want ≥ 0.8", acc)
+	}
+}
+
+func TestPredictionsInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y, prot := labelledData(rng, 60)
+	model, err := Fit(x, y, prot, Options{K: 4, Ax: 1, Ay: 1, Az: 1, Seed: 1, MaxIterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range model.PredictProba(x) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prediction %v out of [0,1]", p)
+		}
+	}
+	for _, w := range model.W {
+		if w <= 0 || w >= 1 {
+			t.Fatalf("prototype score %v out of (0,1)", w)
+		}
+	}
+}
+
+func TestParityTermImprovesParity(t *testing.T) {
+	// With a protected flag correlated to a feature, turning the parity
+	// weight up should reduce the parity gap of LFR's own predictions.
+	rng := rand.New(rand.NewSource(4))
+	m := 150
+	x := mat.NewDense(m, 3)
+	y := make([]bool, m)
+	prot := make([]bool, m)
+	for i := 0; i < m; i++ {
+		prot[i] = i%2 == 0
+		base := rng.NormFloat64()
+		if prot[i] {
+			base -= 1.2 // protected group skewed to negative labels
+		}
+		x.Set(i, 0, base)
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, boolTo01(prot[i]))
+		y[i] = base > 0
+	}
+	loose, err := Fit(x, y, prot, Options{K: 5, Ax: 0.01, Ay: 1, Az: 0, Seed: 5, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Fit(x, y, prot, Options{K: 5, Ax: 0.01, Ay: 1, Az: 20, Seed: 5, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parityLoose := metrics.StatisticalParity(loose.PredictProba(x), prot)
+	parityStrict := metrics.StatisticalParity(strict.PredictProba(x), prot)
+	if parityStrict < parityLoose {
+		t.Fatalf("parity with Az=20 (%v) worse than Az=0 (%v)", parityStrict, parityLoose)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, y, prot := labelledData(rng, 15)
+		model, err := Fit(x, y, prot, Options{K: 3, Ax: 1, Ay: 1, Az: 1, Seed: seed, MaxIterations: 15})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 15; i++ {
+			var sum float64
+			for _, u := range model.Probabilities(x.Row(i)) {
+				if u < 0 {
+					return false
+				}
+				sum += u
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y, prot := labelledData(rng, 30)
+	model, err := Fit(x, y, prot, Options{K: 3, Ax: 1, Ay: 1, Az: 1, Seed: 2, MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt := model.Transform(x)
+	if r, c := xt.Dims(); r != 30 || c != 3 {
+		t.Fatalf("Transform dims = %d×%d, want 30×3", r, c)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y, prot := labelledData(rng, 40)
+	opts := Options{K: 3, Ax: 1, Ay: 1, Az: 1, Seed: 9, MaxIterations: 30}
+	m1, err := Fit(x, y, prot, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(x, y, prot, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(m1.Prototypes, m2.Prototypes, 0) || m1.Loss != m2.Loss {
+		t.Fatal("same seed must reproduce the same model")
+	}
+}
+
+func TestRestartsNotWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y, prot := labelledData(rng, 50)
+	one, err := Fit(x, y, prot, Options{K: 3, Ax: 1, Ay: 1, Az: 1, Seed: 4, MaxIterations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Fit(x, y, prot, Options{K: 3, Ax: 1, Ay: 1, Az: 1, Seed: 4, MaxIterations: 25, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Loss > one.Loss+1e-9 {
+		t.Fatalf("best-of-3 loss %v worse than single %v", three.Loss, one.Loss)
+	}
+}

@@ -1,0 +1,219 @@
+package lfr
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// objective evaluates the LFR loss and its analytic gradient with respect
+// to the packed parameters
+//
+//	θ = [b_0 … b_{K−1}, v_{0,0} … v_{K−1,N−1}]
+//
+// where w_k = σ(b_k) keeps prototype label scores in (0, 1).
+//
+// The statistical-parity term uses the smooth surrogate |e| ≈ √(e² + ε),
+// which keeps L-BFGS line searches well-behaved near e = 0.
+type objective struct {
+	x         *mat.Dense
+	y         []float64 // 0/1 labels
+	protected []bool
+	opts      Options
+	m, n      int
+	nProt     float64 // protected group size
+	nUnprot   float64
+
+	// scratch
+	u  *mat.Dense // memberships
+	xh *mat.Dense // reconstructions
+	g  *mat.Dense // upstream ∂L/∂x̂
+	q  []float64  // per-record upstream on u (combined)
+	w  []float64  // decoded w_k
+}
+
+const parityEps = 1e-8
+
+func newObjective(x *mat.Dense, y, protected []bool, opts Options) *objective {
+	m, n := x.Dims()
+	o := &objective{
+		x:         x,
+		protected: protected,
+		opts:      opts,
+		m:         m,
+		n:         n,
+		u:         mat.NewDense(m, opts.K),
+		xh:        mat.NewDense(m, n),
+		g:         mat.NewDense(m, n),
+		q:         make([]float64, opts.K),
+		w:         make([]float64, opts.K),
+	}
+	o.y = make([]float64, m)
+	for i, yi := range y {
+		if yi {
+			o.y[i] = 1
+		}
+		if protected[i] {
+			o.nProt++
+		} else {
+			o.nUnprot++
+		}
+	}
+	return o
+}
+
+func (o *objective) paramLen() int { return o.opts.K + o.opts.K*o.n }
+
+func (o *objective) initialTheta(rng *rand.Rand) []float64 {
+	theta := make([]float64, o.paramLen())
+	for k := 0; k < o.opts.K; k++ {
+		theta[k] = rng.NormFloat64() * 0.1 // w_k ≈ 0.5
+	}
+	protos := theta[o.opts.K:]
+	for k := 0; k < o.opts.K; k++ {
+		src := o.x.Row(rng.Intn(o.m))
+		row := protos[k*o.n : (k+1)*o.n]
+		for j := range row {
+			row[j] = src[j] + 0.1*rng.NormFloat64()
+		}
+	}
+	return theta
+}
+
+func (o *objective) modelFromTheta(theta []float64) *Model {
+	w := make([]float64, o.opts.K)
+	for k := range w {
+		w[k] = sigmoid(theta[k])
+	}
+	protos := mat.NewDense(o.opts.K, o.n)
+	copy(protos.Data(), theta[o.opts.K:])
+	return &Model{Prototypes: protos, W: w}
+}
+
+// Eval implements optimize.Objective with a full analytic gradient.
+func (o *objective) Eval(theta, grad []float64) float64 {
+	k := o.opts.K
+	for i := range grad {
+		grad[i] = 0
+	}
+	gradB := grad[:k]
+	gradV := grad[k:]
+	protos := theta[k:]
+	for kk := 0; kk < k; kk++ {
+		o.w[kk] = sigmoid(theta[kk])
+	}
+
+	var loss float64
+	// Accumulators for the parity term: mean membership per group.
+	meanProt := make([]float64, k)
+	meanUnprot := make([]float64, k)
+	// Per-record ∂L_y/∂ŷ, needed again in the backward pass.
+	dLdyhat := make([]float64, o.m)
+
+	// ---- forward pass ----
+	for i := 0; i < o.m; i++ {
+		xi := o.x.Row(i)
+		ui := o.u.Row(i)
+		maxZ := math.Inf(-1)
+		for kk := 0; kk < k; kk++ {
+			z := -mat.SqDist(xi, protos[kk*o.n:(kk+1)*o.n])
+			ui[kk] = z
+			if z > maxZ {
+				maxZ = z
+			}
+		}
+		var sum float64
+		for kk := 0; kk < k; kk++ {
+			ui[kk] = math.Exp(ui[kk] - maxZ)
+			sum += ui[kk]
+		}
+		xhi := o.xh.Row(i)
+		gi := o.g.Row(i)
+		for n := range xhi {
+			xhi[n] = 0
+			gi[n] = 0
+		}
+		var yhat float64
+		for kk := 0; kk < k; kk++ {
+			ui[kk] /= sum
+			mat.AddScaled(xhi, ui[kk], protos[kk*o.n:(kk+1)*o.n])
+			yhat += ui[kk] * o.w[kk]
+			if o.protected[i] {
+				meanProt[kk] += ui[kk] / o.nProt
+			} else {
+				meanUnprot[kk] += ui[kk] / o.nUnprot
+			}
+		}
+		// reconstruction loss
+		if o.opts.Ax > 0 {
+			for n := 0; n < o.n; n++ {
+				r := xhi[n] - xi[n]
+				loss += o.opts.Ax * r * r
+				gi[n] += 2 * o.opts.Ax * r
+			}
+		}
+		// prediction loss (clamped cross-entropy)
+		if o.opts.Ay > 0 {
+			const eps = 1e-9
+			p := math.Min(math.Max(yhat, eps), 1-eps)
+			loss += o.opts.Ay * (-o.y[i]*math.Log(p) - (1-o.y[i])*math.Log(1-p))
+			dLdyhat[i] = o.opts.Ay * (p - o.y[i]) / (p * (1 - p))
+		}
+	}
+
+	// parity loss with smooth |·|
+	var dParity []float64 // ∂L_z/∂e_k · φ'(e_k)
+	if o.opts.Az > 0 && o.nProt > 0 && o.nUnprot > 0 {
+		dParity = make([]float64, k)
+		for kk := 0; kk < k; kk++ {
+			e := meanProt[kk] - meanUnprot[kk]
+			phi := math.Sqrt(e*e + parityEps)
+			loss += o.opts.Az * phi
+			dParity[kk] = o.opts.Az * e / phi
+		}
+	}
+
+	// ---- backward pass ----
+	for i := 0; i < o.m; i++ {
+		xi := o.x.Row(i)
+		ui := o.u.Row(i)
+		gi := o.g.Row(i)
+		// total upstream on u_ik
+		var qbar float64
+		for kk := 0; kk < k; kk++ {
+			q := mat.Dot(gi, protos[kk*o.n:(kk+1)*o.n]) // via x̂
+			q += dLdyhat[i] * o.w[kk]                   // via ŷ
+			if dParity != nil {
+				if o.protected[i] {
+					q += dParity[kk] / o.nProt
+				} else {
+					q -= dParity[kk] / o.nUnprot
+				}
+			}
+			o.q[kk] = q
+			qbar += ui[kk] * q
+		}
+		for kk := 0; kk < k; kk++ {
+			uik := ui[kk]
+			cik := uik * (o.q[kk] - qbar)
+			vk := protos[kk*o.n : (kk+1)*o.n]
+			gv := gradV[kk*o.n : (kk+1)*o.n]
+			for n := 0; n < o.n; n++ {
+				// ∂z_ik/∂v_kn = 2(x_in − v_kn) for z = −‖x−v‖².
+				gv[n] += uik*gi[n] + cik*2*(xi[n]-vk[n])
+			}
+			// ∂L/∂b_k via ŷ: dL/dŷ · u_ik · σ'(b_k)
+			gradB[kk] += dLdyhat[i] * uik * o.w[kk] * (1 - o.w[kk])
+		}
+	}
+	return loss
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,87 @@
+package linmodel
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Linear is a least-squares linear regression (optionally ridge-penalised),
+// solved in closed form via the normal equations and a Cholesky
+// factorisation. The paper uses it as the learning-to-rank scoring model.
+type Linear struct {
+	// Weights holds the learned coefficients; the last entry is the
+	// intercept.
+	Weights []float64
+}
+
+// FitLinear solves min_w ‖X·w + b − y‖² + l2·‖w‖². A small ridge floor is
+// always applied to keep the normal equations well-posed on collinear
+// (e.g. one-hot encoded) features.
+func FitLinear(x *mat.Dense, y []float64, l2 float64) (*Linear, error) {
+	m, n := x.Dims()
+	if m == 0 || n == 0 {
+		return nil, ErrNoData
+	}
+	if len(y) != m {
+		panic(fmt.Sprintf("linmodel: %d targets for %d rows", len(y), m))
+	}
+	if l2 < 1e-8 {
+		l2 = 1e-8
+	}
+
+	// Augment with the intercept column: A = [X | 1], solve (AᵀA + λI')w = Aᵀy
+	// where λ is not applied to the intercept.
+	d := n + 1
+	ata := mat.NewDense(d, d)
+	aty := make([]float64, d)
+	for i := 0; i < m; i++ {
+		row := x.Row(i)
+		for a := 0; a < n; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			r := ata.Row(a)
+			for b := 0; b < n; b++ {
+				r[b] += va * row[b]
+			}
+			r[n] += va
+			aty[a] += va * y[i]
+		}
+		last := ata.Row(n)
+		for b := 0; b < n; b++ {
+			last[b] += row[b]
+		}
+		last[n]++
+		aty[n] += y[i]
+	}
+	for a := 0; a < n; a++ {
+		ata.Set(a, a, ata.At(a, a)+l2)
+	}
+	// Tiny jitter on the intercept diagonal for the degenerate m=0 cases.
+	ata.Set(n, n, ata.At(n, n)+1e-12)
+
+	w, err := mat.SolveCholesky(ata, aty)
+	if err != nil {
+		return nil, fmt.Errorf("linmodel: normal equations not solvable: %w", err)
+	}
+	return &Linear{Weights: w}, nil
+}
+
+// Predict returns X·w + b for each row of x.
+func (l *Linear) Predict(x *mat.Dense) []float64 {
+	m, n := x.Dims()
+	if n+1 != len(l.Weights) {
+		panic(fmt.Sprintf("linmodel: %d features, model has %d weights", n, len(l.Weights)))
+	}
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		z := l.Weights[n]
+		for j, v := range x.Row(i) {
+			z += l.Weights[j] * v
+		}
+		out[i] = z
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package linmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestLinearRecoversCoefficients(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 120, 4
+		trueW := make([]float64, n)
+		for j := range trueW {
+			trueW[j] = rng.NormFloat64() * 2
+		}
+		trueB := rng.NormFloat64()
+		x := mat.NewDense(m, n)
+		y := make([]float64, m)
+		for i := 0; i < m; i++ {
+			z := trueB
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				x.Set(i, j, v)
+				z += trueW[j] * v
+			}
+			y[i] = z
+		}
+		model, err := FitLinear(x, y, 0)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(model.Weights[j]-trueW[j]) > 1e-3 {
+				return false
+			}
+		}
+		return math.Abs(model.Weights[n]-trueB) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := 500
+	x := mat.NewDense(m, 1)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		y[i] = 3*v + 1 + rng.NormFloat64()*0.1
+	}
+	model, err := FitLinear(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.Weights[0]-3) > 0.05 || math.Abs(model.Weights[1]-1) > 0.05 {
+		t.Fatalf("weights = %v, want ≈[3 1]", model.Weights)
+	}
+}
+
+func TestLinearCollinearFeatures(t *testing.T) {
+	// Second column duplicates the first: the ridge floor must keep the
+	// normal equations solvable.
+	m := 50
+	x := mat.NewDense(m, 2)
+	y := make([]float64, m)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < m; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, v)
+		y[i] = 2 * v
+	}
+	model, err := FitLinear(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.Predict(x)
+	for i := range pred {
+		if math.Abs(pred[i]-y[i]) > 1e-3 {
+			t.Fatalf("prediction %v differs from target %v", pred[i], y[i])
+		}
+	}
+}
+
+func TestLinearRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := 100
+	x := mat.NewDense(m, 1)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		y[i] = 5 * v
+	}
+	small, err := FitLinear(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := FitLinear(x, y, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big.Weights[0]) >= math.Abs(small.Weights[0]) {
+		t.Fatalf("ridge should shrink: %v vs %v", big.Weights[0], small.Weights[0])
+	}
+}
+
+func TestLinearEmptyData(t *testing.T) {
+	if _, err := FitLinear(mat.NewDense(0, 0), nil, 0); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestLinearTargetMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitLinear(mat.NewDense(3, 2), []float64{1}, 0) //nolint:errcheck
+}
+
+func TestLinearPredictDimMismatchPanics(t *testing.T) {
+	model := &Linear{Weights: []float64{1, 2, 3}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.Predict(mat.NewDense(1, 5))
+}

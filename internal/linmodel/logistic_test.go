@@ -1,0 +1,142 @@
+package linmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/metrics"
+)
+
+// separableData builds a linearly separable 2-D dataset.
+func separableData(rng *rand.Rand, m int) (*mat.Dense, []bool) {
+	x := mat.NewDense(m, 2)
+	y := make([]bool, m)
+	for i := 0; i < m; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		y[i] = a+b > 0
+		off := 0.5
+		if !y[i] {
+			off = -0.5
+		}
+		x.Set(i, 0, a+off)
+		x.Set(i, 1, b+off)
+	}
+	return x, y
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := separableData(rng, 300)
+	model, err := FitLogistic(x, y, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(model.PredictProba(x), y); acc < 0.95 {
+		t.Fatalf("train accuracy = %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestLogisticProbabilitiesInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := separableData(rng, 100)
+	model, err := FitLogistic(x, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range model.PredictProba(x) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v out of [0,1]", p)
+		}
+	}
+}
+
+func TestLogisticPredictMatchesThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := separableData(rng, 80)
+	model, err := FitLogistic(x, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(x)
+	pred := model.Predict(x)
+	for i := range pred {
+		if pred[i] != (proba[i] >= 0.5) {
+			t.Fatal("Predict disagrees with thresholded PredictProba")
+		}
+	}
+}
+
+func TestLogisticRegularisationShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := separableData(rng, 200)
+	loose, err := FitLogistic(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := FitLogistic(x, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normLoose := math.Hypot(loose.Weights[0], loose.Weights[1])
+	normTight := math.Hypot(tight.Weights[0], tight.Weights[1])
+	if normTight >= normLoose {
+		t.Fatalf("strong L2 should shrink weights: %v vs %v", normTight, normLoose)
+	}
+}
+
+func TestLogisticEmptyData(t *testing.T) {
+	if _, err := FitLogistic(mat.NewDense(0, 0), nil, 0); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestLogisticLabelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitLogistic(mat.NewDense(3, 2), []bool{true}, 0) //nolint:errcheck
+}
+
+func TestLogisticFeatureMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := separableData(rng, 30)
+	model, err := FitLogistic(x, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.PredictProba(mat.NewDense(3, 5))
+}
+
+func TestLogisticImbalancedLearnsBaseRate(t *testing.T) {
+	// With uninformative features the model should predict the base rate.
+	rng := rand.New(rand.NewSource(6))
+	m := 400
+	x := mat.NewDense(m, 1)
+	y := make([]bool, m)
+	for i := 0; i < m; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		y[i] = i%10 == 0 // 10% positive, independent of x
+	}
+	model, err := FitLogistic(x, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, p := range model.PredictProba(x) {
+		mean += p
+	}
+	mean /= float64(m)
+	if math.Abs(mean-0.1) > 0.03 {
+		t.Fatalf("mean probability = %v, want ≈0.1", mean)
+	}
+}

@@ -1,0 +1,74 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not symmetric positive definite (within numerical tolerance).
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite matrix a, such that a = L·Lᵀ. Only the lower triangle of a is
+// read.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %d×%d", a.rows, a.cols))
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var diag float64
+		for k := 0; k < j; k++ {
+			diag += l.data[j*n+k] * l.data[j*n+k]
+		}
+		d := a.data[j*n+j] - diag
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.data[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = (a.data[i*n+j] - s) / ljj
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a·x = b for x, where a is symmetric positive
+// definite, using a Cholesky factorisation.
+func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveCholesky rhs length %d, want %d", len(b), n))
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x, nil
+}

@@ -1,0 +1,110 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix a using the
+// cyclic Jacobi rotation method. It returns the eigenvalues in descending
+// order and a matrix whose columns are the corresponding orthonormal
+// eigenvectors, so that a = V·diag(λ)·Vᵀ.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable, which is all the SVD
+// baseline needs: the matrices here are Gram matrices of feature spaces with
+// at most a few hundred columns.
+func EigenSym(a *Dense) (values []float64, vectors *Dense) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: EigenSym of non-square %d×%d", a.rows, a.cols))
+	}
+	n := a.rows
+	w := a.Clone() // working copy, driven to diagonal form
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-12*(1+w.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
+				// Stable computation of the rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.data[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.data[r*n+newCol] = v.data[r*n+oldCol]
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) as w ← Jᵀ·w·J and
+// accumulates v ← v·J.
+func rotate(w, v *Dense, p, q int, c, s float64) {
+	n := w.rows
+	for k := 0; k < n; k++ {
+		wkp := w.data[k*n+p]
+		wkq := w.data[k*n+q]
+		w.data[k*n+p] = c*wkp - s*wkq
+		w.data[k*n+q] = s*wkp + c*wkq
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.data[p*n+k]
+		wqk := w.data[q*n+k]
+		w.data[p*n+k] = c*wpk - s*wqk
+		w.data[q*n+k] = s*wpk + c*wqk
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.data[k*n+p]
+		vkq := v.data[k*n+q]
+		v.data[k*n+p] = c*vkp - s*vkq
+		v.data[k*n+q] = s*vkp + c*vkq
+	}
+}
+
+func offDiagNorm(m *Dense) float64 {
+	n := m.rows
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += m.data[i*n+j] * m.data[i*n+j]
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

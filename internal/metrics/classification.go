@@ -1,0 +1,175 @@
+// Package metrics implements every evaluation measure used in the paper's
+// experiments (Sec. V-C): utility metrics (accuracy, AUC for classification;
+// Kendall's τ and MAP for ranking), the individual-fairness consistency
+// metric yNN, and the group-fairness measures statistical parity and
+// equality of opportunity. It also provides Pareto-front extraction used by
+// Fig. 3 and the harmonic-mean tuning criterion of Table III.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of predictions whose thresholded value
+// (pred ≥ 0.5) matches the boolean label.
+func Accuracy(pred []float64, label []bool) float64 {
+	checkLen(len(pred), len(label), "Accuracy")
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if (p >= 0.5) == label[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// AUC returns the area under the ROC curve of scores against boolean
+// labels, computed as the Mann–Whitney U statistic with tie correction.
+// It returns 0.5 when either class is empty.
+func AUC(score []float64, label []bool) float64 {
+	checkLen(len(score), len(label), "AUC")
+	ranks := rankWithTies(score)
+	var sumPos float64
+	nPos, nNeg := 0, 0
+	for i, l := range label {
+		if l {
+			sumPos += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// rankWithTies returns 1-based ranks of xs with ties assigned their average
+// rank (midrank), as required by the Mann–Whitney statistic.
+func rankWithTies(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+2) / 2 // average of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Consistency computes the paper's individual-fairness metric
+//
+//	yNN = 1 − (1/M)·(1/k)·Σ_i Σ_{j∈kNN(i)} |ŷ_i − ŷ_j|
+//
+// where neighbors[i] lists the k nearest neighbours of record i computed on
+// the original non-protected attributes, and pred holds the predicted
+// responses on the learned representation. Empty neighbour lists contribute
+// zero inconsistency. (This is Zemel et al.'s metric with the bug-fix noted
+// in the paper's footnote: the per-record sum is divided by k.)
+func Consistency(pred []float64, neighbors [][]int) float64 {
+	checkLen(len(pred), len(neighbors), "Consistency")
+	if len(pred) == 0 {
+		return 1
+	}
+	var total float64
+	for i, nbs := range neighbors {
+		if len(nbs) == 0 {
+			continue
+		}
+		var s float64
+		for _, j := range nbs {
+			s += math.Abs(pred[i] - pred[j])
+		}
+		total += s / float64(len(nbs))
+	}
+	return 1 - total/float64(len(pred))
+}
+
+// StatisticalParity computes the paper's parity score
+//
+//	Parity = 1 − |mean(ŷ | protected) − mean(ŷ | unprotected)|
+//
+// over predicted responses; 1 means perfectly equal acceptance rates. If
+// either group is empty, parity is 1 (no comparison possible).
+func StatisticalParity(pred []float64, protected []bool) float64 {
+	checkLen(len(pred), len(protected), "StatisticalParity")
+	var sumP, sumU float64
+	nP, nU := 0, 0
+	for i, p := range pred {
+		if protected[i] {
+			sumP += p
+			nP++
+		} else {
+			sumU += p
+			nU++
+		}
+	}
+	if nP == 0 || nU == 0 {
+		return 1
+	}
+	return 1 - math.Abs(sumP/float64(nP)-sumU/float64(nU))
+}
+
+// EqualOpportunity computes 1 − |TPR_protected − TPR_unprotected| following
+// Hardt et al. (the paper reports it so that higher is better). Predictions
+// are thresholded at 0.5. Groups with no positive ground-truth labels are
+// treated as having TPR equal to the other group (score 1).
+func EqualOpportunity(pred []float64, label, protected []bool) float64 {
+	checkLen(len(pred), len(label), "EqualOpportunity")
+	checkLen(len(pred), len(protected), "EqualOpportunity")
+	tpP, posP, tpU, posU := 0, 0, 0, 0
+	for i, p := range pred {
+		if !label[i] {
+			continue
+		}
+		if protected[i] {
+			posP++
+			if p >= 0.5 {
+				tpP++
+			}
+		} else {
+			posU++
+			if p >= 0.5 {
+				tpU++
+			}
+		}
+	}
+	if posP == 0 || posU == 0 {
+		return 1
+	}
+	return 1 - math.Abs(float64(tpP)/float64(posP)-float64(tpU)/float64(posU))
+}
+
+// HarmonicMean returns the harmonic mean of a and b, the tuning criterion
+// the paper calls "Optimal" in Tables III and V. It is 0 when either input
+// is ≤ 0.
+func HarmonicMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+func checkLen(a, b int, op string) {
+	if a != b {
+		panic(fmt.Sprintf("metrics: %s length mismatch %d vs %d", op, a, b))
+	}
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	pred := []float64{0.9, 0.2, 0.6, 0.4}
+	label := []bool{true, false, false, false}
+	if got := Accuracy(pred, label); got != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]float64{1}, []bool{true, false})
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	score := []float64{0.1, 0.2, 0.8, 0.9}
+	label := []bool{false, false, true, true}
+	if got := AUC(score, label); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+	// Inverted scores give AUC 0.
+	inv := []float64{0.9, 0.8, 0.2, 0.1}
+	if got := AUC(inv, label); got != 0 {
+		t.Fatalf("AUC inverted = %v, want 0", got)
+	}
+}
+
+func TestAUCAllTied(t *testing.T) {
+	score := []float64{0.5, 0.5, 0.5, 0.5}
+	label := []bool{true, false, true, false}
+	if got := AUC(score, label); got != 0.5 {
+		t.Fatalf("AUC tied = %v, want 0.5", got)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	if got := AUC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Fatalf("AUC single class = %v, want 0.5", got)
+	}
+}
+
+// Property: AUC is invariant under strictly monotone transformation of the
+// scores.
+func TestAUCMonotoneInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		score := make([]float64, n)
+		label := make([]bool, n)
+		for i := range score {
+			score[i] = rng.NormFloat64()
+			label[i] = rng.Float64() < 0.4
+		}
+		transformed := make([]float64, n)
+		for i, s := range score {
+			transformed[i] = math.Exp(2*s) + 7
+		}
+		return math.Abs(AUC(score, label)-AUC(transformed, label)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping all labels maps AUC to 1−AUC (with distinct scores).
+func TestAUCLabelFlip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 25
+		score := make([]float64, n)
+		label := make([]bool, n)
+		flip := make([]bool, n)
+		pos := 0
+		for i := range score {
+			score[i] = rng.NormFloat64() + float64(i)*1e-6 // distinct
+			label[i] = rng.Float64() < 0.5
+			if label[i] {
+				pos++
+			}
+			flip[i] = !label[i]
+		}
+		if pos == 0 || pos == n {
+			return true // degenerate; AUC defined as 0.5 both ways
+		}
+		return math.Abs(AUC(score, label)+AUC(score, flip)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsistencyPerfect(t *testing.T) {
+	pred := []float64{0.7, 0.7, 0.7}
+	nbs := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	if got := Consistency(pred, nbs); got != 1 {
+		t.Fatalf("Consistency = %v, want 1", got)
+	}
+}
+
+func TestConsistencyWorstCase(t *testing.T) {
+	// Each record's neighbour has the opposite extreme prediction.
+	pred := []float64{0, 1}
+	nbs := [][]int{{1}, {0}}
+	if got := Consistency(pred, nbs); got != 0 {
+		t.Fatalf("Consistency = %v, want 0", got)
+	}
+}
+
+func TestConsistencyEmptyNeighbourLists(t *testing.T) {
+	pred := []float64{0.3, 0.9}
+	nbs := [][]int{{}, {}}
+	if got := Consistency(pred, nbs); got != 1 {
+		t.Fatalf("Consistency with no neighbours = %v, want 1", got)
+	}
+}
+
+func TestConsistencyEmptyInput(t *testing.T) {
+	if got := Consistency(nil, nil); got != 1 {
+		t.Fatalf("Consistency(empty) = %v, want 1", got)
+	}
+}
+
+// Property: consistency lies in [0, 1] for predictions in [0, 1].
+func TestConsistencyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		pred := make([]float64, n)
+		nbs := make([][]int, n)
+		for i := range pred {
+			pred[i] = rng.Float64()
+			for j := 0; j < 3; j++ {
+				nbs[i] = append(nbs[i], rng.Intn(n))
+			}
+		}
+		c := Consistency(pred, nbs)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatisticalParityEqualRates(t *testing.T) {
+	pred := []float64{1, 0, 1, 0}
+	prot := []bool{true, true, false, false}
+	if got := StatisticalParity(pred, prot); got != 1 {
+		t.Fatalf("Parity = %v, want 1", got)
+	}
+}
+
+func TestStatisticalParityMaxDisparity(t *testing.T) {
+	pred := []float64{1, 1, 0, 0}
+	prot := []bool{true, true, false, false}
+	if got := StatisticalParity(pred, prot); got != 0 {
+		t.Fatalf("Parity = %v, want 0", got)
+	}
+}
+
+func TestStatisticalParityEmptyGroup(t *testing.T) {
+	if got := StatisticalParity([]float64{1, 0}, []bool{true, true}); got != 1 {
+		t.Fatalf("Parity with empty group = %v, want 1", got)
+	}
+}
+
+func TestEqualOpportunity(t *testing.T) {
+	// Protected positives: 2, one predicted positive → TPR 0.5.
+	// Unprotected positives: 2, both predicted positive → TPR 1.
+	pred := []float64{0.9, 0.1, 0.9, 0.9, 0.1}
+	label := []bool{true, true, true, true, false}
+	prot := []bool{true, true, false, false, false}
+	want := 1 - math.Abs(0.5-1.0)
+	if got := EqualOpportunity(pred, label, prot); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EqOpp = %v, want %v", got, want)
+	}
+}
+
+func TestEqualOpportunityNoPositives(t *testing.T) {
+	pred := []float64{0.9, 0.1}
+	label := []bool{false, false}
+	prot := []bool{true, false}
+	if got := EqualOpportunity(pred, label, prot); got != 1 {
+		t.Fatalf("EqOpp without positives = %v, want 1", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean(1, 1); got != 1 {
+		t.Fatalf("HM(1,1) = %v, want 1", got)
+	}
+	if got := HarmonicMean(0, 5); got != 0 {
+		t.Fatalf("HM(0,5) = %v, want 0", got)
+	}
+	if got := HarmonicMean(0.5, 1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("HM(0.5,1) = %v, want 2/3", got)
+	}
+}
+
+// Property: the harmonic mean lies between min and max of its inputs and
+// never exceeds the geometric mean.
+func TestHarmonicMeanBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := rng.Float64()+0.01, rng.Float64()+0.01
+		h := HarmonicMean(a, b)
+		return h >= math.Min(a, b)-1e-12 &&
+			h <= math.Max(a, b)+1e-12 &&
+			h <= math.Sqrt(a*b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau returns Kendall's τ-b rank correlation between two paired
+// samples, with tie correction. It returns 0 when either sample is
+// constant or shorter than 2.
+func KendallTau(a, b []float64) float64 {
+	checkLen(len(a), len(b), "KendallTau")
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				// joint tie: excluded from both denominator terms
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denomA := concordant + discordant + tiesA
+	denomB := concordant + discordant + tiesB
+	if denomA == 0 || denomB == 0 {
+		return 0
+	}
+	// sqrt(a)·sqrt(b) rather than sqrt(a·b) to delay overflow for large n;
+	// clamp against floating-point overshoot at the ±1 extremes.
+	tau := (concordant - discordant) / (math.Sqrt(denomA) * math.Sqrt(denomB))
+	if tau > 1 {
+		return 1
+	}
+	if tau < -1 {
+		return -1
+	}
+	return tau
+}
+
+// RankDescending returns the permutation that sorts scores in descending
+// order (ties broken by original index, making it deterministic).
+func RankDescending(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// AveragePrecisionAtK computes AP@k of a predicted ranking against the set
+// of truly relevant items: here, as in the paper's ranking evaluation, the
+// relevant set is the true top-k under the ground-truth scores. Both
+// arguments are permutations of item indices (most-relevant first).
+func AveragePrecisionAtK(predicted, truth []int, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(truth) {
+		k = len(truth)
+	}
+	relevant := make(map[int]bool, k)
+	for _, t := range truth[:min(k, len(truth))] {
+		relevant[t] = true
+	}
+	var hits, sum float64
+	limit := min(k, len(predicted))
+	for i := 0; i < limit; i++ {
+		if relevant[predicted[i]] {
+			hits++
+			sum += hits / float64(i+1)
+		}
+	}
+	if len(relevant) == 0 {
+		return 0
+	}
+	return sum / float64(min(k, len(relevant)))
+}
+
+// MeanAveragePrecision averages AP@k across queries. Each element of
+// predicted and truth is one query's ranking.
+func MeanAveragePrecision(predicted, truth [][]int, k int) float64 {
+	checkLen(len(predicted), len(truth), "MeanAveragePrecision")
+	if len(predicted) == 0 {
+		return 0
+	}
+	var s float64
+	for q := range predicted {
+		s += AveragePrecisionAtK(predicted[q], truth[q], k)
+	}
+	return s / float64(len(predicted))
+}
+
+// NDCGAtK computes the normalised discounted cumulative gain at k of a
+// predicted ordering against real-valued relevance scores: candidates are
+// ranked by pred, gains are the (min-shifted) true scores discounted by
+// log₂(rank+1), normalised by the ideal ordering's DCG. Returns 1 for a
+// perfect ordering and 0 when all relevances are equal to the minimum.
+func NDCGAtK(pred, truth []float64, k int) float64 {
+	checkLen(len(pred), len(truth), "NDCGAtK")
+	n := len(pred)
+	if n == 0 || k <= 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	// Shift gains to be non-negative; NDCG is otherwise ill-defined for
+	// the standardised (negative) scores used here.
+	minRel := truth[0]
+	for _, t := range truth {
+		if t < minRel {
+			minRel = t
+		}
+	}
+	gain := func(i int) float64 { return truth[i] - minRel }
+
+	dcg := func(order []int) float64 {
+		var s float64
+		for r := 0; r < k; r++ {
+			s += gain(order[r]) / math.Log2(float64(r)+2)
+		}
+		return s
+	}
+	ideal := dcg(RankDescending(truth))
+	if ideal == 0 {
+		return 0
+	}
+	return dcg(RankDescending(pred)) / ideal
+}
+
+// ProtectedShareTopK returns the percentage (0–100) of protected candidates
+// among the first k entries of ranking.
+func ProtectedShareTopK(ranking []int, protected []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	if k == 0 {
+		return 0
+	}
+	count := 0
+	for _, idx := range ranking[:k] {
+		if protected[idx] {
+			count++
+		}
+	}
+	return 100 * float64(count) / float64(k)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

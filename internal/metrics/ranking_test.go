@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if got := KendallTau(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tau = %v, want 1", got)
+	}
+}
+
+func TestKendallTauReversed(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, b); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("tau = %v, want -1", got)
+	}
+}
+
+func TestKendallTauConstant(t *testing.T) {
+	if got := KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("tau vs constant = %v, want 0", got)
+	}
+}
+
+func TestKendallTauShort(t *testing.T) {
+	if got := KendallTau([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("tau of single = %v, want 0", got)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// Classic example: one discordant pair among C(4,2)=6.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 4, 3}
+	want := (5.0 - 1.0) / 6.0
+	if got := KendallTau(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tau = %v, want %v", got, want)
+	}
+}
+
+// Property: tau ∈ [−1, 1] and is symmetric in its arguments.
+func TestKendallTauBoundsSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(5)) // ties likely
+			b[i] = float64(rng.Intn(5))
+		}
+		t1 := KendallTau(a, b)
+		t2 := KendallTau(b, a)
+		return t1 >= -1-1e-9 && t1 <= 1+1e-9 && math.Abs(t1-t2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	got := RankDescending([]float64{0.1, 0.9, 0.5})
+	if got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Fatalf("RankDescending = %v, want [1 2 0]", got)
+	}
+}
+
+func TestRankDescendingStableOnTies(t *testing.T) {
+	got := RankDescending([]float64{0.5, 0.5, 0.5})
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("ties should keep original order, got %v", got)
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	pred := []int{3, 1, 2, 0}
+	truth := []int{3, 1, 2, 0}
+	if got := AveragePrecisionAtK(pred, truth, 3); got != 1 {
+		t.Fatalf("AP = %v, want 1", got)
+	}
+}
+
+func TestAveragePrecisionDisjoint(t *testing.T) {
+	pred := []int{0, 1}
+	truth := []int{2, 3}
+	if got := AveragePrecisionAtK(pred, truth, 2); got != 0 {
+		t.Fatalf("AP = %v, want 0", got)
+	}
+}
+
+func TestAveragePrecisionPartial(t *testing.T) {
+	// Relevant set (true top-2) = {0, 1}; predicted = [0, 2, 1].
+	// Hits at rank 1 (precision 1) and rank 3 (precision 2/3) — but k=2
+	// only examines the first 2 positions, so only the rank-1 hit counts.
+	pred := []int{0, 2, 1}
+	truth := []int{0, 1, 2}
+	want := 1.0 / 2.0 // sum(1)/min(k, |relevant|) = 1/2
+	if got := AveragePrecisionAtK(pred, truth, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", got, want)
+	}
+}
+
+func TestAveragePrecisionKZero(t *testing.T) {
+	if got := AveragePrecisionAtK([]int{0}, []int{0}, 0); got != 0 {
+		t.Fatalf("AP@0 = %v, want 0", got)
+	}
+}
+
+// Property: AP@k ∈ [0, 1].
+func TestAveragePrecisionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		pred := rng.Perm(n)
+		truth := rng.Perm(n)
+		ap := AveragePrecisionAtK(pred, truth, 5)
+		return ap >= 0 && ap <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	pred := [][]int{{0, 1}, {1, 0}}
+	truth := [][]int{{0, 1}, {0, 1}}
+	// First query AP=1; second query with k=1: relevant={0}, predicted
+	// first is 1 → AP=0. MAP = 0.5.
+	if got := MeanAveragePrecision(pred, truth, 1); got != 0.5 {
+		t.Fatalf("MAP = %v, want 0.5", got)
+	}
+	if got := MeanAveragePrecision(nil, nil, 5); got != 0 {
+		t.Fatalf("MAP(empty) = %v, want 0", got)
+	}
+}
+
+func TestNDCGPerfectOrdering(t *testing.T) {
+	truth := []float64{3, 1, 2}
+	if got := NDCGAtK(truth, truth, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NDCG of perfect ordering = %v, want 1", got)
+	}
+}
+
+func TestNDCGWorstOrdering(t *testing.T) {
+	truth := []float64{0, 1, 10}
+	pred := []float64{10, 1, 0} // exactly reversed
+	got := NDCGAtK(pred, truth, 3)
+	if got >= 1 || got <= 0 {
+		t.Fatalf("NDCG of reversed ordering = %v, want in (0,1)", got)
+	}
+}
+
+func TestNDCGConstantRelevance(t *testing.T) {
+	if got := NDCGAtK([]float64{1, 2, 3}, []float64{5, 5, 5}, 3); got != 0 {
+		t.Fatalf("NDCG with constant relevance = %v, want 0", got)
+	}
+}
+
+func TestNDCGEmptyAndKZero(t *testing.T) {
+	if NDCGAtK(nil, nil, 3) != 0 {
+		t.Fatal("empty NDCG should be 0")
+	}
+	if NDCGAtK([]float64{1}, []float64{1}, 0) != 0 {
+		t.Fatal("k=0 NDCG should be 0")
+	}
+}
+
+// Property: NDCG ∈ [0, 1] and is invariant to shifting the relevance.
+func TestNDCGBoundsAndShiftInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		pred := make([]float64, n)
+		truth := make([]float64, n)
+		shifted := make([]float64, n)
+		for i := range pred {
+			pred[i] = rng.NormFloat64()
+			truth[i] = rng.NormFloat64()
+			shifted[i] = truth[i] + 17
+		}
+		a := NDCGAtK(pred, truth, 10)
+		b := NDCGAtK(pred, shifted, 10)
+		return a >= 0 && a <= 1+1e-12 && math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtectedShareTopK(t *testing.T) {
+	ranking := []int{0, 1, 2, 3}
+	prot := []bool{true, false, true, true}
+	if got := ProtectedShareTopK(ranking, prot, 2); got != 50 {
+		t.Fatalf("share = %v, want 50", got)
+	}
+	if got := ProtectedShareTopK(ranking, prot, 10); got != 75 {
+		t.Fatalf("share (k>n) = %v, want 75", got)
+	}
+	if got := ProtectedShareTopK(ranking, prot, 0); got != 0 {
+		t.Fatalf("share k=0 = %v, want 0", got)
+	}
+}

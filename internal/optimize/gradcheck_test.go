@@ -1,0 +1,54 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumericalGradientQuadratic(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + 3*x[1] }
+	grad := make([]float64, 2)
+	NumericalGradient(f, []float64{2, 5}, grad, 0)
+	if math.Abs(grad[0]-4) > 1e-6 || math.Abs(grad[1]-3) > 1e-6 {
+		t.Fatalf("grad = %v, want [4 3]", grad)
+	}
+}
+
+func TestNumericalGradientLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NumericalGradient(func(x []float64) float64 { return 0 }, []float64{1, 2}, make([]float64, 1), 0)
+}
+
+func TestCheckGradientAcceptsCorrectGradient(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		obj := ObjectiveFunc(func(p, g []float64) float64 {
+			// f = sin(p0) + p1²·p2
+			g[0] = math.Cos(p[0])
+			g[1] = 2 * p[1] * p[2]
+			g[2] = p[1] * p[1]
+			return math.Sin(p[0]) + p[1]*p[1]*p[2]
+		})
+		return CheckGradient(obj, x, 1e-6) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckGradientRejectsWrongGradient(t *testing.T) {
+	obj := ObjectiveFunc(func(p, g []float64) float64 {
+		g[0] = 999 // deliberately wrong
+		return p[0] * p[0]
+	})
+	if got := CheckGradient(obj, []float64{1}, 1e-6); got < 0.5 {
+		t.Fatalf("discrepancy = %v, want large", got)
+	}
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"math/rand"
+
+	"repro/internal/adversarial"
+	"repro/internal/dataset"
+	"repro/internal/ifair"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+)
+
+// AuditRow is one row of the Definition-1 audit (an extension beyond the
+// paper's own tables): the empirical distance-preservation violations of a
+// representation method on held-out records.
+type AuditRow struct {
+	Dataset string
+	Method  string
+	Result  metrics.AuditResult
+}
+
+// AuditStudy measures, for each representation method, how far transformed
+// pairwise distances stray from the original non-protected distances — the
+// empirical ε of Definition 1. Pairs are sampled (4 per record by default)
+// on the test split; the identity (Full Data) row is included as the
+// reference, whose only violations come from masking the protected
+// columns.
+func AuditStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AuditRow, error) {
+	cfg.fill()
+	split, err := dataset.ThreeWaySplit(ds.Rows(), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train := ds.Subset(split.Train)
+	test := ds.Subset(split.Test)
+	reference := test.NonProtectedX()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pairs := metrics.SamplePairs(test.Rows(), 4*test.Rows(), rng)
+
+	var rows []AuditRow
+	probe := func(rep Representation) error {
+		if err := rep.Fit(train); err != nil {
+			return err
+		}
+		transformed := rep.Transform(test.X)
+		rows = append(rows, AuditRow{
+			Dataset: ds.Name,
+			Method:  rep.Name(),
+			Result:  metrics.LipschitzAudit(reference, transformed, pairs),
+		})
+		return nil
+	}
+
+	reps := []Representation{
+		FullData{},
+		&MaskedData{},
+		&SVDRep{K: cfg.K[0]},
+		&IFairRep{Opts: ifair.Options{
+			K: cfg.K[0], Lambda: 1, Mu: 1,
+			Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
+			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+		}},
+		&CensoredRep{Opts: adversarial.Options{Seed: cfg.Seed}},
+	}
+	if ds.Task == dataset.Classification {
+		reps = append(reps, &LFRRep{Opts: lfr.Options{
+			K: cfg.K[0], Az: 1, Ax: 1, Ay: 1,
+			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+		}})
+	}
+	for _, rep := range reps {
+		if err := probe(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

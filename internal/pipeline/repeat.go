@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// RepeatSummary aggregates one method's headline metrics across repeated
+// runs with different seeds (fresh data simulation, fresh split, fresh
+// initialisation). The paper reports best-of-3 single numbers; this
+// extension quantifies run-to-run variance, which any reproduction should
+// surface.
+type RepeatSummary struct {
+	Method           string
+	Runs             int
+	MeanAUC, StdAUC  float64
+	MeanYNN, StdYNN  float64
+	MeanParity       float64
+	MeanEqOpp        float64
+	FailedRuns       int
+	LastFailedReason string
+}
+
+// RepeatStudy evaluates Full Data and iFair-b on freshly simulated data
+// for every seed and reports mean ± std of the headline metrics.
+func RepeatStudy(gen func(seed int64) *dataset.Dataset, cfg StudyConfig, seeds []int64) ([]RepeatSummary, error) {
+	cfg.fill()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("pipeline: RepeatStudy needs at least one seed")
+	}
+	type sample struct{ auc, ynn, parity, eqopp float64 }
+	collected := map[string][]sample{}
+	failures := map[string]int{}
+	reasons := map[string]string{}
+
+	for _, seed := range seeds {
+		runCfg := cfg
+		runCfg.Seed = seed
+		ds := gen(seed)
+		split, err := dataset.ThreeWaySplit(ds.Rows(), runCfg.TrainFrac, runCfg.ValFrac, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, rep := range []Representation{FullData{}, ifairBRep(runCfg)} {
+			res, err := EvalClassification(ds, split, rep, runCfg.L2)
+			if err != nil {
+				failures[rep.Name()]++
+				reasons[rep.Name()] = err.Error()
+				continue
+			}
+			collected[rep.Name()] = append(collected[rep.Name()], sample{res.AUC, res.YNN, res.Parity, res.EqOpp})
+		}
+	}
+
+	var out []RepeatSummary
+	for _, method := range []string{"Full Data", "iFair-b"} {
+		samples := collected[method]
+		s := RepeatSummary{
+			Method:           method,
+			Runs:             len(samples),
+			FailedRuns:       failures[method],
+			LastFailedReason: reasons[method],
+		}
+		if len(samples) > 0 {
+			var aucs, ynns []float64
+			for _, sm := range samples {
+				aucs = append(aucs, sm.auc)
+				ynns = append(ynns, sm.ynn)
+				s.MeanParity += sm.parity
+				s.MeanEqOpp += sm.eqopp
+			}
+			s.MeanAUC, s.StdAUC = meanStd(aucs)
+			s.MeanYNN, s.StdYNN = meanStd(ynns)
+			s.MeanParity /= float64(len(samples))
+			s.MeanEqOpp /= float64(len(samples))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

@@ -1,0 +1,301 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/ifair"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+)
+
+// StudyConfig controls the hyper-parameter search of the classification
+// and ranking studies. The zero value selects a trimmed "quick" grid; use
+// PaperStudyConfig for the paper's full grid of Sec. V-B.
+type StudyConfig struct {
+	// Seed drives splits and all model initialisation.
+	Seed int64
+	// Mixture lists candidate values for the loss-mixture coefficients
+	// (λ, µ for iFair; A_z, A_x, A_y for LFR).
+	Mixture []float64
+	// K lists candidate prototype counts.
+	K []int
+	// Restarts per configuration (paper: best of 3).
+	Restarts int
+	// MaxIterations per optimisation run.
+	MaxIterations int
+	// L2 is the ridge strength of downstream models.
+	L2 float64
+	// TrainFrac and ValFrac define the three-way split.
+	TrainFrac, ValFrac float64
+	// Parallel is the number of hyper-parameter configurations evaluated
+	// concurrently in grid searches (≤ 1 runs sequentially). Results are
+	// deterministic regardless of the value: every configuration is
+	// seeded independently and results are collected in grid order.
+	Parallel int
+}
+
+// PaperStudyConfig mirrors Sec. V-B: mixture coefficients from
+// {0, 0.05, 0.1, 1, 10, 100}, K from {10, 20, 30}, best of 3 runs.
+func PaperStudyConfig(seed int64) StudyConfig {
+	return StudyConfig{
+		Seed:          seed,
+		Mixture:       []float64{0, 0.05, 0.1, 1, 10, 100},
+		K:             []int{10, 20, 30},
+		Restarts:      3,
+		MaxIterations: 150,
+		L2:            0.01,
+		TrainFrac:     1.0 / 3,
+		ValFrac:       1.0 / 3,
+	}
+}
+
+func (c *StudyConfig) fill() {
+	if len(c.Mixture) == 0 {
+		c.Mixture = []float64{0.1, 1, 10}
+	}
+	if len(c.K) == 0 {
+		c.K = []int{10}
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 1
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 60
+	}
+	if c.L2 <= 0 {
+		c.L2 = 0.01
+	}
+	if c.TrainFrac <= 0 || c.ValFrac <= 0 || c.TrainFrac+c.ValFrac >= 1 {
+		c.TrainFrac, c.ValFrac = 1.0/3, 1.0/3
+	}
+}
+
+// iFairConfigs enumerates the (λ, µ, K) grid for one iFair variant,
+// skipping the degenerate all-zero combination.
+func (c *StudyConfig) iFairConfigs(variant ifair.InitStrategy) []ifair.Options {
+	var out []ifair.Options
+	for _, lambda := range c.Mixture {
+		for _, mu := range c.Mixture {
+			if lambda == 0 && mu == 0 {
+				continue
+			}
+			for _, k := range c.K {
+				out = append(out, ifair.Options{
+					K:             k,
+					Lambda:        lambda,
+					Mu:            mu,
+					Init:          variant,
+					Fairness:      ifair.SampledFairness,
+					PairSamples:   32,
+					Restarts:      c.Restarts,
+					MaxIterations: c.MaxIterations,
+					Seed:          c.Seed,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// lfrConfigs enumerates the (A_z, A_x, A_y, K) grid, keeping the
+// reconstruction and prediction terms active (A_x, A_y > 0) as LFR
+// requires a classifier and a data loss to be meaningful.
+func (c *StudyConfig) lfrConfigs() []lfr.Options {
+	var nonZero []float64
+	for _, v := range c.Mixture {
+		if v > 0 {
+			nonZero = append(nonZero, v)
+		}
+	}
+	var out []lfr.Options
+	for _, az := range c.Mixture {
+		for _, ax := range nonZero {
+			for _, ay := range nonZero {
+				for _, k := range c.K {
+					out = append(out, lfr.Options{
+						K: k, Az: az, Ax: ax, Ay: ay,
+						Restarts:      c.Restarts,
+						MaxIterations: c.MaxIterations,
+						Seed:          c.Seed,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TradeoffStudy runs every representation method and hyper-parameter
+// configuration on ds and returns all results — the point cloud of Fig. 3.
+// The caller can extract Pareto fronts with ParetoByMethod. Configurations
+// are evaluated concurrently when cfg.Parallel > 1; the result order is
+// the grid order either way.
+func TradeoffStudy(ds *dataset.Dataset, cfg StudyConfig) ([]ClassificationResult, error) {
+	cfg.fill()
+	split, err := dataset.ThreeWaySplit(ds.Rows(), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The consistency neighbour sets depend only on the split; compute
+	// them once and share across every configuration.
+	cache := &neighbourCache{
+		test:  yNNNeighbours(ds, split.Test),
+		valid: yNNNeighbours(ds, split.Validation),
+	}
+
+	type job struct {
+		rep    Representation
+		params string
+	}
+	var jobs []job
+	add := func(rep Representation, params string) { jobs = append(jobs, job{rep, params}) }
+
+	add(FullData{}, "")
+	add(&MaskedData{}, "")
+	for _, k := range cfg.K {
+		add(&SVDRep{K: k}, fmt.Sprintf("K=%d", k))
+		add(&SVDRep{K: k, Masked: true}, fmt.Sprintf("K=%d", k))
+	}
+	for _, opts := range cfg.lfrConfigs() {
+		add(&LFRRep{Opts: opts}, fmt.Sprintf("Az=%g,Ax=%g,Ay=%g,K=%d", opts.Az, opts.Ax, opts.Ay, opts.K))
+	}
+	for _, variant := range []ifair.InitStrategy{ifair.InitRandom, ifair.InitMaskedProtected} {
+		for _, opts := range cfg.iFairConfigs(variant) {
+			add(&IFairRep{Opts: opts}, fmt.Sprintf("l=%g,m=%g,K=%d", opts.Lambda, opts.Mu, opts.K))
+		}
+	}
+
+	results := make([]ClassificationResult, len(jobs))
+	runJob := func(i int) {
+		r, err := evalClassificationCached(ds, split, jobs[i].rep, cfg.L2, cache)
+		r.Params = jobs[i].params
+		if err != nil {
+			r.FitError = err.Error()
+		}
+		results[i] = r
+	}
+	if cfg.Parallel <= 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+		return results, nil
+	}
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runJob(i)
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// ParetoByMethod extracts, per method name, the indices of results that are
+// Pareto-optimal with respect to (AUC, yNN) on the test split — the dashed
+// fronts of Fig. 3. Results with fit errors are excluded.
+func ParetoByMethod(results []ClassificationResult) map[string][]int {
+	byMethod := map[string][]int{}
+	for i, r := range results {
+		if r.FitError == "" {
+			byMethod[r.Method] = append(byMethod[r.Method], i)
+		}
+	}
+	fronts := map[string][]int{}
+	for method, idx := range byMethod {
+		pts := make([]metrics.Point, len(idx))
+		for j, i := range idx {
+			pts[j] = metrics.Point{Utility: results[i].AUC, Fairness: results[i].YNN}
+		}
+		for _, j := range metrics.ParetoFront(pts) {
+			fronts[method] = append(fronts[method], idx[j])
+		}
+	}
+	return fronts
+}
+
+// TuningCriterion is one of the paper's three hyper-parameter selection
+// rules for Table III.
+type TuningCriterion int
+
+const (
+	// MaxUtility selects the configuration with the best validation AUC.
+	MaxUtility TuningCriterion = iota
+	// MaxFairness selects the best validation consistency.
+	MaxFairness
+	// Optimal selects the best harmonic mean of validation AUC and
+	// consistency.
+	Optimal
+)
+
+// String implements fmt.Stringer.
+func (t TuningCriterion) String() string {
+	switch t {
+	case MaxUtility:
+		return "Max Utility"
+	case MaxFairness:
+		return "Max Fairness"
+	case Optimal:
+		return "Optimal"
+	default:
+		return "unknown"
+	}
+}
+
+func (t TuningCriterion) score(r ClassificationResult) float64 {
+	switch t {
+	case MaxUtility:
+		return r.ValidAUC
+	case MaxFairness:
+		return r.ValidYNN
+	default:
+		return metrics.HarmonicMean(r.ValidAUC, r.ValidYNN)
+	}
+}
+
+// Table3Row is one (criterion, method) cell group of Table III.
+type Table3Row struct {
+	Criterion TuningCriterion
+	Result    ClassificationResult
+}
+
+// Table3 reproduces the paper's Table III on one dataset: the Full Data
+// baseline plus LFR, iFair-a and iFair-b under the three tuning criteria.
+func Table3(ds *dataset.Dataset, cfg StudyConfig) ([]Table3Row, error) {
+	results, err := TradeoffStudy(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	// Baseline row (criterion-independent).
+	for _, r := range results {
+		if r.Method == "Full Data" {
+			rows = append(rows, Table3Row{Criterion: MaxUtility, Result: r})
+			break
+		}
+	}
+	for _, crit := range []TuningCriterion{MaxUtility, MaxFairness, Optimal} {
+		for _, method := range []string{"LFR", "iFair-a", "iFair-b"} {
+			best := -1
+			var bestScore float64
+			for i, r := range results {
+				if r.Method != method || r.FitError != "" {
+					continue
+				}
+				if s := crit.score(r); best == -1 || s > bestScore {
+					best, bestScore = i, s
+				}
+			}
+			if best >= 0 {
+				rows = append(rows, Table3Row{Criterion: crit, Result: results[best]})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,155 @@
+// Package svd implements the thin singular value decomposition used by the
+// paper's SVD and SVD-masked baselines (Sec. V-B, citing Halko et al. [14]).
+//
+// The decomposition is computed via the symmetric Jacobi eigendecomposition
+// of the Gram matrix AᵀA, which is accurate and simple for the tall-skinny
+// matrices that arise here (M records × N ≤ a few hundred features).
+package svd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// SVD holds a thin decomposition A = U·diag(S)·Vᵀ where U is M×r,
+// S has r non-negative entries in descending order, and V is N×r.
+type SVD struct {
+	U *mat.Dense
+	S []float64
+	V *mat.Dense
+}
+
+// Compute returns the thin SVD of a. Singular values below rankTol·S[0]
+// are dropped; rankTol defaults to 1e-10 when ≤ 0.
+func Compute(a *mat.Dense, rankTol float64) *SVD {
+	if rankTol <= 0 {
+		rankTol = 1e-10
+	}
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return &SVD{U: mat.NewDense(m, 0), V: mat.NewDense(n, 0)}
+	}
+	gram := mat.Mul(a.T(), a) // N×N
+	eigvals, eigvecs := mat.EigenSym(gram)
+
+	// Effective rank.
+	smax := math.Sqrt(math.Max(eigvals[0], 0))
+	r := 0
+	for _, ev := range eigvals {
+		if ev <= 0 {
+			break
+		}
+		if s := math.Sqrt(ev); s > rankTol*smax && s > 0 {
+			r++
+		} else {
+			break
+		}
+	}
+
+	s := make([]float64, r)
+	v := mat.NewDense(n, r)
+	for k := 0; k < r; k++ {
+		s[k] = math.Sqrt(eigvals[k])
+		col := eigvecs.Col(k)
+		for i := 0; i < n; i++ {
+			v.Set(i, k, col[i])
+		}
+	}
+
+	// U = A·V·diag(1/S).
+	u := mat.Mul(a, v)
+	for i := 0; i < m; i++ {
+		row := u.Row(i)
+		for k := 0; k < r; k++ {
+			row[k] /= s[k]
+		}
+	}
+	return &SVD{U: u, S: s, V: v}
+}
+
+// Rank returns the number of retained singular values.
+func (d *SVD) Rank() int { return len(d.S) }
+
+// Truncate returns the rank-k approximation A_k = U_k·diag(S_k)·V_kᵀ in the
+// original M×N space. If k exceeds the rank, the full reconstruction is
+// returned. This is what the SVD baseline feeds to downstream models: a
+// denoised version of the data with the same dimensionality, keeping the
+// yNN consistency metric comparable across representation methods.
+func (d *SVD) Truncate(k int) *mat.Dense {
+	if k < 0 {
+		panic(fmt.Sprintf("svd: negative rank %d", k))
+	}
+	if k > d.Rank() {
+		k = d.Rank()
+	}
+	m, _ := d.U.Dims()
+	n, _ := d.V.Dims()
+	out := mat.NewDense(m, n)
+	for i := 0; i < m; i++ {
+		urow := d.U.Row(i)
+		orow := out.Row(i)
+		for kk := 0; kk < k; kk++ {
+			c := urow[kk] * d.S[kk]
+			if c == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				orow[j] += c * d.V.At(j, kk)
+			}
+		}
+	}
+	return out
+}
+
+// Project returns the k-dimensional score matrix U_k·diag(S_k) (M×k), the
+// classic dimensionality-reduced coordinates.
+func (d *SVD) Project(k int) *mat.Dense {
+	if k < 0 {
+		panic(fmt.Sprintf("svd: negative rank %d", k))
+	}
+	if k > d.Rank() {
+		k = d.Rank()
+	}
+	m, _ := d.U.Dims()
+	out := mat.NewDense(m, k)
+	for i := 0; i < m; i++ {
+		urow := d.U.Row(i)
+		orow := out.Row(i)
+		for kk := 0; kk < k; kk++ {
+			orow[kk] = urow[kk] * d.S[kk]
+		}
+	}
+	return out
+}
+
+// ReduceRank is a convenience wrapper: rank-k reconstruction of a.
+func ReduceRank(a *mat.Dense, k int) *mat.Dense {
+	return Compute(a, 0).Truncate(k)
+}
+
+// Basis returns the first k right singular vectors as an N×k matrix. If k
+// exceeds the rank, all retained vectors are returned.
+func (d *SVD) Basis(k int) *mat.Dense {
+	if k < 0 {
+		panic(fmt.Sprintf("svd: negative rank %d", k))
+	}
+	if k > d.Rank() {
+		k = d.Rank()
+	}
+	n, _ := d.V.Dims()
+	out := mat.NewDense(n, k)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), d.V.Row(i)[:k])
+	}
+	return out
+}
+
+// ApplyRank projects new data x (M'×N) onto the fitted rank-k subspace and
+// reconstructs it in the original space: x·V_k·V_kᵀ. This is how the SVD
+// baselines transform held-out validation and test records.
+func (d *SVD) ApplyRank(x *mat.Dense, k int) *mat.Dense {
+	basis := d.Basis(k)
+	return mat.Mul(mat.Mul(x, basis), basis.T())
+}

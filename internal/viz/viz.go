@@ -1,0 +1,140 @@
+// Package viz renders small text-mode charts for the experiment runner:
+// scatter plots for the trade-off figures and horizontal bars for the
+// adversarial-accuracy figure, so the paper's figures can be eyeballed
+// directly in a terminal without external plotting tools.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named group of points sharing a glyph.
+type Series struct {
+	Name  string
+	Glyph rune
+	X, Y  []float64
+}
+
+// Scatter renders series into a width×height character grid with axis
+// labels. Points outside the given ranges are clamped onto the border. If
+// the ranges are zero (min == max), they are padded.
+func Scatter(title string, series []Series, width, height int, xLabel, yLabel string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no points at all
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			col := scale(s.X[i], xmin, xmax, width-1)
+			row := height - 1 - scale(s.Y[i], ymin, ymax, height-1)
+			grid[row][col] = s.Glyph
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%8.3f ┤\n", ymax)
+	for r := 0; r < height; r++ {
+		label := "         "
+		if r == height-1 {
+			label = fmt.Sprintf("%8.3f ", ymin)
+		}
+		fmt.Fprintf(&b, "%s│%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "         └%s\n", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          %-*.3f%*.3f\n", width-8, xmin, 8, xmax)
+	if xLabel != "" || yLabel != "" {
+		fmt.Fprintf(&b, "          x: %s, y: %s\n", xLabel, yLabel)
+	}
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Glyph, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "          %s\n", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart for labelled values in [0, max].
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("viz: %d labels for %d values", len(labels), len(values)))
+	}
+	if width < 10 {
+		width = 10
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		n := scale(values[i], 0, max, width)
+		fmt.Fprintf(&b, "%-*s │%s %.3f\n", labelWidth, l, strings.Repeat("█", n), values[i])
+	}
+	return b.String()
+}
+
+// scale maps v in [lo, hi] onto an integer cell in [0, cells].
+func scale(v, lo, hi float64, cells int) int {
+	if hi <= lo {
+		return 0
+	}
+	n := int(math.Round((v - lo) / (hi - lo) * float64(cells)))
+	if n < 0 {
+		n = 0
+	}
+	if n > cells {
+		n = cells
+	}
+	return n
+}
+
+// pad widens a degenerate range slightly so scaling stays defined.
+func pad(lo, hi float64) (float64, float64) {
+	if hi > lo {
+		return lo, hi
+	}
+	return lo - 0.5, hi + 0.5
+}

@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterContainsGlyphsAndLegend(t *testing.T) {
+	out := Scatter("demo", []Series{
+		{Name: "alpha", Glyph: 'a', X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "beta", Glyph: 'b', X: []float64{0.5}, Y: []float64{0.5}},
+	}, 30, 10, "utility", "fairness")
+	for _, want := range []string{"demo", "a", "b", "alpha", "beta", "utility", "fairness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterEmptySeries(t *testing.T) {
+	out := Scatter("", nil, 20, 8, "", "")
+	if out == "" {
+		t.Fatal("empty scatter should still render axes")
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// All points identical — padding must avoid division by zero.
+	out := Scatter("", []Series{{Name: "s", Glyph: '*', X: []float64{1, 1}, Y: []float64{2, 2}}}, 20, 8, "", "")
+	if !strings.Contains(out, "*") {
+		t.Fatal("glyph not rendered")
+	}
+}
+
+func TestScatterMinimumDimensions(t *testing.T) {
+	out := Scatter("", []Series{{Name: "s", Glyph: '*', X: []float64{0}, Y: []float64{0}}}, 1, 1, "", "")
+	if len(strings.Split(out, "\n")) < 7 {
+		t.Fatal("dimensions not clamped to minimums")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("adv", []string{"masked", "iFair"}, []float64{0.7, 0.5}, 20)
+	if !strings.Contains(out, "masked") || !strings.Contains(out, "0.500") {
+		t.Fatalf("bars output wrong:\n%s", out)
+	}
+	// The larger value must have the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	maskedBlocks := strings.Count(lines[1], "█")
+	ifairBlocks := strings.Count(lines[2], "█")
+	if maskedBlocks <= ifairBlocks {
+		t.Fatalf("bar lengths wrong: %d vs %d", maskedBlocks, ifairBlocks)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a") {
+		t.Fatal("label missing")
+	}
+}
+
+func TestBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bars("", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestScaleBounds(t *testing.T) {
+	if scale(-5, 0, 1, 10) != 0 {
+		t.Fatal("below-range value must clamp to 0")
+	}
+	if scale(5, 0, 1, 10) != 10 {
+		t.Fatal("above-range value must clamp to cells")
+	}
+	if scale(0.5, 0, 1, 10) != 5 {
+		t.Fatal("midpoint should map to middle cell")
+	}
+	if scale(1, 1, 1, 10) != 0 {
+		t.Fatal("degenerate range should map to 0")
+	}
+}

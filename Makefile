@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fmt vet clean
+# Model directory and listen address for `make serve`.
+MODELS ?= artifacts/models
+ADDR   ?= :8080
 
-all: build test
+.PHONY: all build test race cover bench experiments examples serve fmt vet clean
+
+# vet and race run on every default invocation so the concurrent
+# registry/batcher code in internal/server is race-checked routinely.
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -23,6 +29,11 @@ bench:
 # paper's full Sec. V-B grid).
 experiments:
 	$(GO) run ./cmd/experiments -run all $(if $(FULL),-full,) -csv artifacts
+
+# Serve the models in $(MODELS) over HTTP (train some first, e.g.
+# `go run ./cmd/ifair -dataset credit -k 10 -save $(MODELS)/credit.json`).
+serve:
+	$(GO) run ./cmd/ifair-server -models $(MODELS) -addr $(ADDR)
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,13 +6,23 @@
 package repro
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/ifair"
 	"repro/internal/mat"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 )
 
 // benchCfg is a reduced-scale study configuration so a single benchmark
@@ -364,6 +374,105 @@ func BenchmarkTransform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		model.Transform(x)
 	}
+}
+
+// ---- serving benches (internal/server baselines) ----
+
+// benchServingModel builds a deterministic fitted-shaped model without
+// the training cost: K prototypes over N attributes, uniform weights.
+func benchServingModel(k, n int) *ifair.Model {
+	protos := mat.NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := 0; j < n; j++ {
+			protos.Set(i, j, float64((i*n+j)%7)*0.25-0.5)
+		}
+	}
+	alpha := make([]float64, n)
+	for j := range alpha {
+		alpha[j] = 1
+	}
+	return &ifair.Model{Prototypes: protos, Alpha: alpha, P: 2, Kernel: ifair.ExpKernel}
+}
+
+// benchHTTPServer serves one model from a temp dir.
+func benchHTTPServer(b *testing.B, cfg server.Config) (*server.Server, *httptest.Server) {
+	b.Helper()
+	dir := b.TempDir()
+	f, err := os.Create(filepath.Join(dir, "bench.json"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := benchServingModel(10, 17).Encode(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	cfg.ModelDir = dir
+	s, err := server.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return s, ts
+}
+
+// BenchmarkServerTransform measures the end-to-end HTTP serving path
+// (JSON decode → batched transform → JSON encode) with a 64-row batch
+// per request — the baseline for future serving optimisations.
+func BenchmarkServerTransform(b *testing.B) {
+	_, ts := benchHTTPServer(b, server.Config{MaxWait: 0})
+	rows := make([][]float64, 64)
+	for i := range rows {
+		row := make([]float64, 17)
+		for j := range row {
+			row[j] = float64(i+j) * 0.01
+		}
+		rows[i] = row
+	}
+	payload, err := json.Marshal(struct {
+		Rows [][]float64 `json:"rows"`
+	}{rows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts.URL + "/v1/models/bench/transform"
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkMicroBatcher measures the coalescing fast path: many
+// goroutines pushing single rows through one Batcher.
+func BenchmarkMicroBatcher(b *testing.B) {
+	model := benchServingModel(10, 17)
+	entry := &server.Entry{Name: "bench", Version: 1, Model: model}
+	batcher := server.NewBatcher(64, 500*time.Microsecond, 2, nil)
+	row := make([]float64, 17)
+	for j := range row {
+		row[j] = 0.1 * float64(j)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := batcher.TransformRow(ctx, entry, row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

@@ -1,0 +1,122 @@
+// Command ifair-server serves fitted iFair models over HTTP — the
+// paper's "train once, use the learned representation for arbitrary
+// downstream applications" deployment story as a long-lived service.
+//
+// Models are JSON files written by `ifair -save` (or Model.Encode),
+// placed in a directory as `<name>.json` or `<name>@v<version>.json`;
+// the newest version of each name serves by default and the directory
+// is rescanned periodically, so new model versions go live without a
+// restart.
+//
+// Usage:
+//
+//	ifair -dataset credit -k 10 -save models/credit.json
+//	ifair-server -models ./models -addr :8080
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/models/credit/transform \
+//	     -d '{"rows": [[0.1, -1.2, 0.5]]}'
+//
+// Endpoints: POST /v1/models/{name}/transform (micro-batched),
+// POST /v1/models/{name}/probabilities, GET /v1/models, GET /healthz,
+// GET /readyz, GET /metrics. SIGINT/SIGTERM drain in-flight requests
+// before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ifair-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		models   = flag.String("models", "", "directory of model JSON files (<name>.json or <name>@v<version>.json)")
+		maxBatch = flag.Int("max-batch", 32, "micro-batcher flush threshold (rows)")
+		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "micro-batcher window; 0 disables coalescing")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for batched transforms")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		reload   = flag.Duration("reload", 10*time.Second, "model directory rescan interval; 0 disables hot reload")
+		drain    = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
+		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+		maxRows  = flag.Int("max-rows", 10000, "maximum rows per batch request")
+	)
+	flag.Parse()
+	if *models == "" {
+		return errors.New("specify -models <dir>")
+	}
+
+	s, err := server.New(server.Config{
+		ModelDir:       *models,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxRows:        *maxRows,
+	})
+	if err != nil {
+		// A partial load (some corrupt files) is survivable; an empty
+		// registry is not worth starting for.
+		if s == nil {
+			return err
+		}
+		log.Printf("warning: %v", err)
+	}
+	for _, info := range s.Registry().List() {
+		log.Printf("loaded model %s@v%d (K=%d, N=%d) from %s", info.Name, info.Version, info.K, info.N, info.FileName)
+	}
+	if s.Registry().Len() == 0 {
+		log.Printf("warning: no models in %s yet; serving will begin once the watcher finds some", *models)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *reload > 0 {
+		go s.Registry().Watch(ctx, *reload, log.Printf)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d model(s) on %s (batch ≤ %d rows, window %v, %d workers)",
+			s.Registry().Len(), *addr, *maxBatch, *maxWait, *workers)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining in-flight requests (up to %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Printf("drained cleanly, bye")
+	return nil
+}

@@ -59,12 +59,9 @@ func run() error {
 
 	var model *ifair.Model
 	if *loadModel != "" {
-		f, err := os.Open(*loadModel)
-		if err != nil {
-			return err
-		}
-		model, err = ifair.DecodeModel(f)
-		f.Close()
+		// Same loading/validation path as the serving registry
+		// (internal/server): one source of truth for reading model files.
+		model, err = ifair.LoadModelFile(*loadModel)
 		if err != nil {
 			return err
 		}

@@ -71,6 +71,11 @@ func Fit(x *Matrix, opts Options) (*Model, error) { return ifair.Fit(x, opts) }
 // DecodeModel reads a model previously serialised with Model.Encode.
 var DecodeModel = ifair.DecodeModel
 
+// LoadModelFile reads and validates a model file written by Model.Encode —
+// the same loader cmd/ifair and the serving registry (cmd/ifair-server)
+// use.
+var LoadModelFile = ifair.LoadModelFile
+
 // ---- baselines ----
 
 // LFRModel is the Learning Fair Representations baseline of Zemel et al.

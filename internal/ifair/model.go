@@ -55,16 +55,55 @@ func kernelDistance(x, v, alpha []float64, p float64, takeRoot bool) float64 {
 	return s
 }
 
-// Probabilities returns the cluster-membership distribution u_i for a
-// single record. Under the default ExpKernel this is Def. 8:
-// u_ik = softmax_k(−d(x_i, v_k)); under InverseKernel the weights are
-// 1/(1 + d), normalised.
-func (m *Model) Probabilities(x []float64) []float64 {
-	if len(x) != m.Dims() {
-		panic(fmt.Sprintf("ifair: record has %d attributes, model expects %d", len(x), m.Dims()))
+// Validate checks the internal consistency of a model — dimensions agree,
+// weights are non-negative and finite, the Minkowski exponent and kernel
+// are supported. Hand-built or deserialised models should be validated
+// before serving traffic; Fit always returns a valid model.
+func (m *Model) Validate() error {
+	if m.Prototypes == nil {
+		return fmt.Errorf("ifair: model has no prototypes")
 	}
+	k, n := m.Prototypes.Dims()
+	if k <= 0 || n <= 0 {
+		return fmt.Errorf("ifair: invalid model dimensions K=%d N=%d", k, n)
+	}
+	if len(m.Alpha) != n {
+		return fmt.Errorf("ifair: alpha length %d does not match N=%d", len(m.Alpha), n)
+	}
+	for i, a := range m.Alpha {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("ifair: non-finite attribute weight alpha[%d]=%v", i, a)
+		}
+		if a < 0 {
+			return fmt.Errorf("ifair: negative attribute weight alpha[%d]=%v", i, a)
+		}
+	}
+	for i, v := range m.Prototypes.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ifair: non-finite prototype entry %d: %v", i, v)
+		}
+	}
+	if math.IsNaN(m.P) || m.P < 1 {
+		return fmt.Errorf("ifair: minkowski exponent p=%v, want p ≥ 1", m.P)
+	}
+	if m.Kernel < ExpKernel || m.Kernel > InverseKernel {
+		return fmt.Errorf("ifair: unknown kernel id %d", int(m.Kernel))
+	}
+	return nil
+}
+
+// checkRecord verifies that a record matches the model's dimensionality.
+func (m *Model) checkRecord(x []float64) error {
+	if len(x) != m.Dims() {
+		return fmt.Errorf("ifair: record has %d attributes, model expects %d", len(x), m.Dims())
+	}
+	return nil
+}
+
+// probabilitiesInto computes the membership distribution of x into u,
+// which must have length K. The caller guarantees len(x) == Dims().
+func (m *Model) probabilitiesInto(x, u []float64) {
 	k := m.K()
-	u := make([]float64, k)
 	switch m.Kernel {
 	case InverseKernel:
 		var sum float64
@@ -94,40 +133,124 @@ func (m *Model) Probabilities(x []float64) []float64 {
 			u[j] /= sum
 		}
 	}
+}
+
+// transformRowInto writes x̃ = Σ_k u_k·v_k into out (length N), using u
+// (length K) as scratch for the membership weights.
+func (m *Model) transformRowInto(x, u, out []float64) {
+	m.probabilitiesInto(x, u)
+	for j := range out {
+		out[j] = 0
+	}
+	for k, uk := range u {
+		mat.AddScaled(out, uk, m.Prototypes.Row(k))
+	}
+}
+
+// ProbabilitiesChecked is Probabilities with an error instead of a panic
+// on dimension mismatch — the variant servers should call so malformed
+// client records surface as 4xx responses, not crashes.
+func (m *Model) ProbabilitiesChecked(x []float64) ([]float64, error) {
+	if err := m.checkRecord(x); err != nil {
+		return nil, err
+	}
+	u := make([]float64, m.K())
+	m.probabilitiesInto(x, u)
+	return u, nil
+}
+
+// Probabilities returns the cluster-membership distribution u_i for a
+// single record. Under the default ExpKernel this is Def. 8:
+// u_ik = softmax_k(−d(x_i, v_k)); under InverseKernel the weights are
+// 1/(1 + d), normalised. It panics on dimension mismatch; use
+// ProbabilitiesChecked to get an error instead.
+func (m *Model) Probabilities(x []float64) []float64 {
+	u, err := m.ProbabilitiesChecked(x)
+	if err != nil {
+		panic(err.Error())
+	}
 	return u
 }
 
-// TransformRow maps one record to its fair representation
-// x̃ = Σ_k u_k·v_k (Def. 3).
-func (m *Model) TransformRow(x []float64) []float64 {
-	u := m.Probabilities(x)
+// TransformRowChecked is TransformRow with an error instead of a panic on
+// dimension mismatch.
+func (m *Model) TransformRowChecked(x []float64) ([]float64, error) {
+	if err := m.checkRecord(x); err != nil {
+		return nil, err
+	}
+	u := make([]float64, m.K())
 	out := make([]float64, m.Dims())
-	for k, uk := range u {
-		mat.AddScaled(out, uk, m.Prototypes.Row(k))
+	m.transformRowInto(x, u, out)
+	return out, nil
+}
+
+// TransformRow maps one record to its fair representation
+// x̃ = Σ_k u_k·v_k (Def. 3). It panics on dimension mismatch; use
+// TransformRowChecked to get an error instead.
+func (m *Model) TransformRow(x []float64) []float64 {
+	out, err := m.TransformRowChecked(x)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }
 
+// TransformChecked is Transform with an error instead of a panic on
+// dimension mismatch.
+func (m *Model) TransformChecked(x *mat.Dense) (*mat.Dense, error) {
+	return m.TransformParallelChecked(x, 1)
+}
+
 // Transform maps every row of x to its fair representation, returning the
-// M×N matrix X̃ = U·Vᵀ of Def. 2.
+// M×N matrix X̃ = U·Vᵀ of Def. 2. It panics on dimension mismatch; use
+// TransformChecked to get an error instead.
 func (m *Model) Transform(x *mat.Dense) *mat.Dense {
+	out, err := m.TransformChecked(x)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// TransformParallelChecked transforms every row of x using up to workers
+// goroutines from the shared chunked worker pool. Row chunking only
+// changes which goroutine computes a row, never its value, so the result
+// is bit-identical to Transform for any worker count. workers ≤ 1 runs
+// inline.
+func (m *Model) TransformParallelChecked(x *mat.Dense, workers int) (*mat.Dense, error) {
 	rows, cols := x.Dims()
 	if cols != m.Dims() {
-		panic(fmt.Sprintf("ifair: data has %d attributes, model expects %d", cols, m.Dims()))
+		return nil, fmt.Errorf("ifair: data has %d attributes, model expects %d", cols, m.Dims())
 	}
 	out := mat.NewDense(rows, cols)
-	for i := 0; i < rows; i++ {
-		copy(out.Row(i), m.TransformRow(x.Row(i)))
+	runChunks(rows, workers, func(_, lo, hi int) {
+		u := make([]float64, m.K()) // per-worker scratch
+		for i := lo; i < hi; i++ {
+			m.transformRowInto(x.Row(i), u, out.Row(i))
+		}
+	})
+	return out, nil
+}
+
+// TransformParallel is TransformParallelChecked with the panicking
+// contract of Transform.
+func (m *Model) TransformParallel(x *mat.Dense, workers int) *mat.Dense {
+	out, err := m.TransformParallelChecked(x, workers)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }
 
 // Memberships returns the full M×K probability matrix U for the rows of x.
 func (m *Model) Memberships(x *mat.Dense) *mat.Dense {
-	rows, _ := x.Dims()
+	rows, cols := x.Dims()
+	if cols != m.Dims() {
+		panic(fmt.Sprintf("ifair: data has %d attributes, model expects %d", cols, m.Dims()))
+	}
 	out := mat.NewDense(rows, m.K())
 	for i := 0; i < rows; i++ {
-		copy(out.Row(i), m.Probabilities(x.Row(i)))
+		m.probabilitiesInto(x.Row(i), out.Row(i))
 	}
 	return out
 }

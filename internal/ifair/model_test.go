@@ -79,6 +79,77 @@ func TestMembershipsShape(t *testing.T) {
 	}
 }
 
+func TestCheckedVariantsReportDimensionMismatch(t *testing.T) {
+	model, x := fittedModel(t, 11)
+	bad := make([]float64, model.Dims()+3)
+	if _, err := model.ProbabilitiesChecked(bad); err == nil {
+		t.Fatal("ProbabilitiesChecked: expected error for wrong width")
+	}
+	if _, err := model.TransformRowChecked(bad); err == nil {
+		t.Fatal("TransformRowChecked: expected error for wrong width")
+	}
+	if _, err := model.TransformChecked(mat.NewDense(2, model.Dims()-1)); err == nil {
+		t.Fatal("TransformChecked: expected error for wrong width")
+	}
+	if _, err := model.TransformParallelChecked(mat.NewDense(2, model.Dims()+1), 4); err == nil {
+		t.Fatal("TransformParallelChecked: expected error for wrong width")
+	}
+	// The checked variants agree with the panicking ones on valid input.
+	got, err := model.TransformRowChecked(x.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.TransformRow(x.Row(0))
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatal("TransformRowChecked disagrees with TransformRow")
+		}
+	}
+}
+
+func TestTransformParallelMatchesSerial(t *testing.T) {
+	model, x := fittedModel(t, 12)
+	want := model.Transform(x)
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := model.TransformParallel(x, workers)
+		if !mat.Equalish(got, want, 0) {
+			t.Fatalf("workers=%d: parallel transform differs from serial", workers)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := func() *Model {
+		return &Model{
+			Prototypes: mat.FromRows([][]float64{{0, 0}, {1, 1}}),
+			Alpha:      []float64{1, 1},
+			P:          2,
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	cases := map[string]func(*Model){
+		"nil prototypes":   func(m *Model) { m.Prototypes = nil },
+		"alpha too short":  func(m *Model) { m.Alpha = m.Alpha[:1] },
+		"negative alpha":   func(m *Model) { m.Alpha[0] = -1 },
+		"nan alpha":        func(m *Model) { m.Alpha[1] = math.NaN() },
+		"inf prototype":    func(m *Model) { m.Prototypes.Set(0, 0, math.Inf(1)) },
+		"p below one":      func(m *Model) { m.P = 0.5 },
+		"nan p":            func(m *Model) { m.P = math.NaN() },
+		"unknown kernel":   func(m *Model) { m.Kernel = Kernel(9) },
+		"negative kernel":  func(m *Model) { m.Kernel = Kernel(-1) },
+		"empty prototypes": func(m *Model) { m.Prototypes = mat.NewDense(0, 0) },
+	}
+	for name, corrupt := range cases {
+		m := valid()
+		corrupt(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
 func TestTransformWrongWidthPanics(t *testing.T) {
 	model, _ := fittedModel(t, 5)
 	defer func() {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/mat"
 )
@@ -60,24 +61,39 @@ func DecodeModel(r io.Reader) (*Model, error) {
 	if len(mj.Prototypes) != mj.K*mj.N {
 		return nil, fmt.Errorf("ifair: prototype data length %d does not match K×N=%d", len(mj.Prototypes), mj.K*mj.N)
 	}
-	for i, a := range mj.Alpha {
-		if a < 0 {
-			return nil, fmt.Errorf("ifair: negative attribute weight alpha[%d]=%v", i, a)
-		}
-	}
 	p := mj.P
 	if p == 0 {
 		p = 2
 	}
-	if mj.Kernel < int(ExpKernel) || mj.Kernel > int(InverseKernel) {
-		return nil, fmt.Errorf("ifair: unknown kernel id %d", mj.Kernel)
-	}
-	return &Model{
+	m := &Model{
 		Prototypes: mat.NewDenseData(mj.K, mj.N, mj.Prototypes),
 		Alpha:      mj.Alpha,
 		P:          p,
 		TakeRoot:   mj.TakeRoot,
 		Kernel:     Kernel(mj.Kernel),
 		Loss:       mj.Loss,
-	}, nil
+	}
+	// Validate rejects the remaining inconsistencies a corrupt file can
+	// carry: negative or non-finite weights, non-finite prototypes, p < 1
+	// and unknown kernel ids.
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadModelFile reads and validates a model file written by Encode. It is
+// the single source of truth for loading persisted models — the CLI and
+// the serving registry both go through it.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := DecodeModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }

@@ -3,6 +3,8 @@ package ifair
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -63,15 +65,53 @@ func TestDecodeModelRejectsWrongVersion(t *testing.T) {
 
 func TestDecodeModelValidatesShapes(t *testing.T) {
 	cases := map[string]string{
-		"bad dims":        `{"version":1,"k":0,"n":1,"alpha":[1],"prototypes":[]}`,
-		"alpha mismatch":  `{"version":1,"k":1,"n":2,"alpha":[1],"prototypes":[0,0]}`,
-		"proto mismatch":  `{"version":1,"k":2,"n":2,"alpha":[1,1],"prototypes":[0,0]}`,
-		"negative weight": `{"version":1,"k":1,"n":1,"alpha":[-1],"prototypes":[0]}`,
+		"bad dims":          `{"version":1,"k":0,"n":1,"alpha":[1],"prototypes":[]}`,
+		"negative k":        `{"version":1,"k":-2,"n":1,"alpha":[1],"prototypes":[0]}`,
+		"negative n":        `{"version":1,"k":1,"n":-1,"alpha":[],"prototypes":[]}`,
+		"alpha mismatch":    `{"version":1,"k":1,"n":2,"alpha":[1],"prototypes":[0,0]}`,
+		"alpha too long":    `{"version":1,"k":1,"n":1,"alpha":[1,1],"prototypes":[0]}`,
+		"proto mismatch":    `{"version":1,"k":2,"n":2,"alpha":[1,1],"prototypes":[0,0]}`,
+		"negative weight":   `{"version":1,"k":1,"n":1,"alpha":[-1],"prototypes":[0]}`,
+		"p below one":       `{"version":1,"k":1,"n":1,"p":0.5,"alpha":[1],"prototypes":[0]}`,
+		"negative p":        `{"version":1,"k":1,"n":1,"p":-2,"alpha":[1],"prototypes":[0]}`,
+		"missing version":   `{"k":1,"n":1,"alpha":[1],"prototypes":[0]}`,
+		"negative kernel":   `{"version":1,"k":1,"n":1,"kernel":-1,"alpha":[1],"prototypes":[0]}`,
+		"truncated payload": `{"version":1,"k":1,`,
 	}
 	for name, payload := range cases {
 		if _, err := DecodeModel(strings.NewReader(payload)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+func TestLoadModelFile(t *testing.T) {
+	model, _ := fittedModel(t, 33)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != model.K() || got.Dims() != model.Dims() {
+		t.Fatalf("loaded model is %d×%d, want %d×%d", got.K(), got.Dims(), model.K(), model.Dims())
+	}
+	if _, err := LoadModelFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"k":1,"n":2,"alpha":[1],"prototypes":[0,0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("err = %v, want decode error naming the file", err)
 	}
 }
 

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// batchResult carries one transformed row (or the batch-level error) back
+// to the waiting request goroutine.
+type batchResult struct {
+	row []float64
+	err error
+}
+
+// pendingRow is one enqueued single-row request.
+type pendingRow struct {
+	row []float64
+	out chan batchResult // buffered(1): flush never blocks on a gone caller
+}
+
+// modelQueue accumulates rows destined for one specific model instance.
+type modelQueue struct {
+	entry *Entry
+	rows  []pendingRow
+	timer *time.Timer
+}
+
+// Batcher coalesces concurrent single-row transform requests into one
+// batched Model.Transform call per model, dispatched through the chunked
+// worker pool (TransformParallel). A batch is flushed when it reaches
+// MaxBatch rows or when the oldest row has waited MaxWait, whichever
+// comes first. Under low concurrency this adds at most MaxWait of
+// latency; under high concurrency batches fill instantly and the
+// amortised per-row cost approaches the pure batched-transform cost.
+type Batcher struct {
+	maxBatch int
+	maxWait  time.Duration
+	workers  int
+	sizes    *Histogram // batch-size distribution, may be nil
+
+	mu     sync.Mutex
+	queues map[string]*modelQueue // Entry.Key() → queue
+}
+
+// NewBatcher returns a batcher that flushes at maxBatch rows or after
+// maxWait, transforming each batch with the given worker count. sizes,
+// when non-nil, observes every flushed batch size.
+func NewBatcher(maxBatch int, maxWait time.Duration, workers int, sizes *Histogram) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Batcher{
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		workers:  workers,
+		sizes:    sizes,
+		queues:   make(map[string]*modelQueue),
+	}
+}
+
+// TransformRow transforms one row through the named model entry,
+// coalescing with other concurrent rows for the same (name, version).
+// It blocks until the row's batch is flushed or ctx is done.
+func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64) ([]float64, error) {
+	// Validate eagerly so a malformed row errors immediately instead of
+	// poisoning the whole batch it would have joined.
+	if _, err := entry.Model.ProbabilitiesChecked(row); err != nil {
+		return nil, err
+	}
+	if b.maxBatch == 1 || b.maxWait <= 0 {
+		return entry.Model.TransformRowChecked(row)
+	}
+
+	out := make(chan batchResult, 1)
+	b.mu.Lock()
+	key := entry.Key()
+	q := b.queues[key]
+	// A hot-reload can swap the model behind a key; never mix rows from
+	// two instances in one batch.
+	if q != nil && q.entry != entry {
+		b.flushLocked(key, q)
+		q = nil
+	}
+	if q == nil {
+		q = &modelQueue{entry: entry}
+		b.queues[key] = q
+		q.timer = time.AfterFunc(b.maxWait, func() {
+			b.mu.Lock()
+			// Only flush if this queue generation is still pending.
+			if cur, ok := b.queues[key]; ok && cur == q {
+				b.flushLocked(key, cur)
+			}
+			b.mu.Unlock()
+		})
+	}
+	q.rows = append(q.rows, pendingRow{row: row, out: out})
+	if len(q.rows) >= b.maxBatch {
+		b.flushLocked(key, q)
+	}
+	b.mu.Unlock()
+
+	select {
+	case res := <-out:
+		return res.row, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flushLocked detaches the queue and transforms it on a new goroutine.
+// Callers must hold b.mu.
+func (b *Batcher) flushLocked(key string, q *modelQueue) {
+	delete(b.queues, key)
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+	rows := q.rows
+	entry := q.entry
+	if len(rows) == 0 {
+		return
+	}
+	if b.sizes != nil {
+		b.sizes.Observe(float64(len(rows)))
+	}
+	go func() {
+		x := mat.NewDense(len(rows), entry.Model.Dims())
+		for i, p := range rows {
+			copy(x.Row(i), p.row)
+		}
+		xt, err := entry.Model.TransformParallelChecked(x, b.workers)
+		for i, p := range rows {
+			if err != nil {
+				p.out <- batchResult{err: err}
+				continue
+			}
+			p.out <- batchResult{row: xt.Row(i)}
+		}
+	}()
+}
+
+// Flush synchronously drains every pending queue; used by tests and
+// during shutdown.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	for key, q := range b.queues {
+		b.flushLocked(key, q)
+	}
+	b.mu.Unlock()
+}

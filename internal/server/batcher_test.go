@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testEntry(k, n int) *Entry {
+	return &Entry{Name: "m", Version: 1, Model: testModel(k, n)}
+}
+
+func TestBatcherMatchesDirectTransform(t *testing.T) {
+	entry := testEntry(3, 4)
+	sizes := newHistogram(batchSizeBuckets)
+	b := NewBatcher(8, 5*time.Millisecond, 2, sizes)
+
+	rows := [][]float64{
+		{0.1, 0.2, 0.3, 0.4},
+		{1, 1, 1, 1},
+		{-2, 0.5, 3, -1},
+	}
+	for _, row := range rows {
+		got, err := b.TransformRow(context.Background(), entry, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := entry.Model.TransformRow(row)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("batched row differs from direct transform: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestBatcherCoalescesConcurrentRows(t *testing.T) {
+	entry := testEntry(3, 2)
+	sizes := newHistogram(batchSizeBuckets)
+	// Long wait so all goroutines land in the same batch window.
+	b := NewBatcher(64, 50*time.Millisecond, 2, sizes)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			row := []float64{float64(g), float64(-g)}
+			got, err := b.TransformRow(context.Background(), entry, row)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := entry.Model.TransformRow(row)
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 0 {
+					errs <- errRowMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if sizes.Count() == 0 {
+		t.Fatal("no batches observed")
+	}
+	// The whole point: at least one flush carried more than one row.
+	if sizes.Max() < 2 {
+		t.Fatalf("max batch size = %v, want coalescing > 1", sizes.Max())
+	}
+}
+
+var errRowMismatch = &httpError{status: 500, msg: "batched result differs from direct transform"}
+
+func TestBatcherFlushesAtMaxBatch(t *testing.T) {
+	entry := testEntry(2, 2)
+	sizes := newHistogram(batchSizeBuckets)
+	// maxWait is huge: only the size trigger can flush in time.
+	b := NewBatcher(4, time.Hour, 1, sizes)
+
+	const callers = 4
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := b.TransformRow(context.Background(), entry, []float64{1, float64(g)}); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("size-triggered flush took %v", elapsed)
+	}
+	if sizes.Max() < 4 {
+		t.Fatalf("max batch size = %v, want the full batch of 4", sizes.Max())
+	}
+}
+
+func TestBatcherTimerFlushesPartialBatch(t *testing.T) {
+	entry := testEntry(2, 2)
+	b := NewBatcher(1000, 10*time.Millisecond, 1, nil)
+	start := time.Now()
+	if _, err := b.TransformRow(context.Background(), entry, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timer flush took %v", elapsed)
+	}
+}
+
+func TestBatcherRejectsWrongWidth(t *testing.T) {
+	entry := testEntry(2, 3)
+	b := NewBatcher(8, time.Millisecond, 1, nil)
+	if _, err := b.TransformRow(context.Background(), entry, []float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestBatcherHonoursContextCancellation(t *testing.T) {
+	entry := testEntry(2, 2)
+	b := NewBatcher(1000, time.Hour, 1, nil) // nothing will flush on its own
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := b.TransformRow(ctx, entry, []float64{1, 2})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	b.Flush() // clean up the stranded queue
+}
+
+func TestBatcherBypassWithoutCoalescing(t *testing.T) {
+	entry := testEntry(2, 2)
+	for _, b := range []*Batcher{
+		NewBatcher(1, time.Hour, 1, nil), // maxBatch 1
+		NewBatcher(8, 0, 1, nil),         // maxWait 0
+	} {
+		got, err := b.TransformRow(context.Background(), entry, []float64{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := entry.Model.TransformRow([]float64{1, 2})
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatal("bypass path differs from direct transform")
+			}
+		}
+	}
+}
+
+func TestBatcherSeparatesModelInstances(t *testing.T) {
+	// Two entries with the same key but different models (a hot reload):
+	// rows enqueued for the old instance must not be transformed by the
+	// new one.
+	oldEntry := &Entry{Name: "m", Version: 1, Model: testModel(2, 2)}
+	newEntry := &Entry{Name: "m", Version: 1, Model: testModel(5, 2)}
+	b := NewBatcher(1000, 30*time.Millisecond, 1, nil)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	results := make([][]float64, 2)
+	go func() {
+		defer wg.Done()
+		results[0], _ = b.TransformRow(context.Background(), oldEntry, []float64{1, 2})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		results[1], _ = b.TransformRow(context.Background(), newEntry, []float64{1, 2})
+	}()
+	wg.Wait()
+	wantOld := oldEntry.Model.TransformRow([]float64{1, 2})
+	wantNew := newEntry.Model.TransformRow([]float64{1, 2})
+	for j := range wantOld {
+		if results[0][j] != wantOld[j] {
+			t.Fatal("old-instance row transformed by wrong model")
+		}
+	}
+	for j := range wantNew {
+		if results[1][j] != wantNew[j] {
+			t.Fatal("new-instance row transformed by wrong model")
+		}
+	}
+}

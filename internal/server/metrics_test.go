@@ -1,0 +1,123 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("requests", "path=/x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if m.Counter("requests", "path=/x") != c {
+		t.Fatal("same identity returned a different counter")
+	}
+	if m.Counter("requests", "path=/y") == c {
+		t.Fatal("different labels returned the same counter")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for v := 1; v <= 8; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 36 {
+		t.Fatalf("sum = %v, want 36", h.Sum())
+	}
+	// Half the mass sits at or below 2 (observations 1 and 2 fill the
+	// first two buckets; interpolation keeps the estimate in (1, 4]).
+	if q := h.Quantile(0.5); q < 1 || q > 4 {
+		t.Fatalf("p50 = %v, want within (1, 4]", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want 8", q)
+	}
+	if h.Max() != 8 {
+		t.Fatalf("max = %v, want 8", h.Max())
+	}
+	empty := newHistogram([]float64{1})
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)
+	if h.Count() != 1 {
+		t.Fatal("overflow observation not counted")
+	}
+	if q := h.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want last finite bound 2", q)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("ifair_http_requests_total", "path=/v1/models", "code=200").Add(3)
+	h := m.Histogram("ifair_http_request_duration_seconds", []float64{0.01, 0.1}, "path=/v1/models")
+	h.Observe(0.005)
+	h.Observe(0.05)
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ifair_http_requests_total{code="200",path="/v1/models"} 3`,
+		`ifair_http_request_duration_seconds_bucket{le="0.01",path="/v1/models"} 1`,
+		`ifair_http_request_duration_seconds_bucket{le="+Inf",path="/v1/models"} 2`,
+		`ifair_http_request_duration_seconds_count{path="/v1/models"} 2`,
+		`quantile="0.5"`,
+		`quantile="0.99"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsConcurrentAccess(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Counter("c", "path=/x").Inc()
+				m.Histogram("h", []float64{1, 2}, "path=/x").Observe(float64(i % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c", "path=/x").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := m.Histogram("h", nil, "path=/x").Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1) // exactly on a bound counts toward that bound (le semantics)
+	counts, sum, total := h.snapshot()
+	if counts[0] != 1 || total != 1 || sum != 1 {
+		t.Fatalf("counts=%v sum=%v total=%d, want first bucket hit", counts, sum, total)
+	}
+	if math.Abs(h.Quantile(1)-1) > 1e-12 {
+		t.Fatalf("quantile = %v, want 1", h.Quantile(1))
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-endpoint cross-cutting
+// concerns: a request-scoped timeout, panic recovery, request/error
+// counters and a latency histogram labelled by path.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
+	latency := s.metrics.Histogram("ifair_http_request_duration_seconds", latencyBuckets, "path="+path)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.Counter("ifair_http_panics_total", "path="+path).Inc()
+				if rec.status == 0 {
+					writeJSON(rec, http.StatusInternalServerError,
+						errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+				}
+				// Surface the stack for the operator; the client already
+				// has its 500.
+				log.Printf("panic serving %s: %v\n%s", path, p, debug.Stack())
+			}
+			elapsed := time.Since(start).Seconds()
+			latency.Observe(elapsed)
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.metrics.Counter("ifair_http_requests_total",
+				"path="+path, "code="+strconv.Itoa(status)).Inc()
+			if status >= 400 {
+				s.metrics.Counter("ifair_http_errors_total",
+					"path="+path, "code="+strconv.Itoa(status)).Inc()
+			}
+		}()
+		h(rec, r)
+	})
+}

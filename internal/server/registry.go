@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ifair"
+)
+
+// Entry is one loaded model in the registry.
+type Entry struct {
+	// Name and Version identify the model; version comes from the file
+	// name (`<name>@v<version>.json`, plain `<name>.json` is version 1).
+	Name    string
+	Version int
+	// Model is the decoded, validated representation.
+	Model *ifair.Model
+	// Path is the file the entry was loaded from.
+	Path string
+
+	// modTime and size detect changed files across reloads.
+	modTime time.Time
+	size    int64
+}
+
+// Key returns the canonical "<name>@v<version>" identity of the entry.
+func (e *Entry) Key() string { return fmt.Sprintf("%s@v%d", e.Name, e.Version) }
+
+// Info is the JSON-facing summary of a loaded model.
+type Info struct {
+	Name     string  `json:"name"`
+	Version  int     `json:"version"`
+	Latest   bool    `json:"latest"`
+	K        int     `json:"k"`
+	N        int     `json:"n"`
+	Kernel   string  `json:"kernel"`
+	Loss     float64 `json:"loss"`
+	FileName string  `json:"file"`
+}
+
+// Registry is a concurrency-safe collection of named, versioned models
+// loaded from a directory. Reload rescans the directory and atomically
+// swaps the table, reusing decoded models for files whose mtime and size
+// are unchanged — so a reload under live traffic costs one directory
+// scan, not a re-decode of every model.
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string][]*Entry // name → entries sorted by ascending version
+}
+
+// NewRegistry returns an empty registry rooted at dir. Call Reload to
+// populate it.
+func NewRegistry(dir string) *Registry {
+	return &Registry{dir: dir, models: make(map[string][]*Entry)}
+}
+
+// parseModelFileName splits "credit@v3.json" into ("credit", 3) and
+// "credit.json" into ("credit", 1). Non-model files return ok=false.
+func parseModelFileName(base string) (name string, version int, ok bool) {
+	if !strings.HasSuffix(base, ".json") {
+		return "", 0, false
+	}
+	stem := strings.TrimSuffix(base, ".json")
+	if stem == "" {
+		return "", 0, false
+	}
+	name, ver, found := strings.Cut(stem, "@")
+	if !found {
+		return stem, 1, true
+	}
+	if name == "" || !strings.HasPrefix(ver, "v") {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(ver, "v"))
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return name, n, true
+}
+
+// Reload rescans the model directory and swaps in the new table. Files
+// that fail to load are skipped and reported in the joined error; models
+// that do load are still served, so one corrupt file cannot take down
+// the rest of the registry.
+func (r *Registry) Reload() (loaded, reused int, err error) {
+	dirEntries, derr := os.ReadDir(r.dir)
+	if derr != nil {
+		return 0, 0, derr
+	}
+
+	// Index the current table by path for reuse.
+	r.mu.RLock()
+	prev := make(map[string]*Entry)
+	for _, entries := range r.models {
+		for _, e := range entries {
+			prev[e.Path] = e
+		}
+	}
+	r.mu.RUnlock()
+
+	next := make(map[string][]*Entry)
+	var errs []error
+	for _, de := range dirEntries {
+		if de.IsDir() {
+			continue
+		}
+		name, version, ok := parseModelFileName(de.Name())
+		if !ok {
+			continue
+		}
+		path := filepath.Join(r.dir, de.Name())
+		fi, ferr := de.Info()
+		if ferr != nil {
+			errs = append(errs, ferr)
+			continue
+		}
+		if old, ok := prev[path]; ok && old.modTime.Equal(fi.ModTime()) && old.size == fi.Size() {
+			next[name] = append(next[name], old)
+			reused++
+			continue
+		}
+		model, lerr := ifair.LoadModelFile(path)
+		if lerr != nil {
+			errs = append(errs, lerr)
+			continue
+		}
+		next[name] = append(next[name], &Entry{
+			Name: name, Version: version, Model: model, Path: path,
+			modTime: fi.ModTime(), size: fi.Size(),
+		})
+		loaded++
+	}
+	for _, entries := range next {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Version < entries[j].Version })
+	}
+
+	r.mu.Lock()
+	r.models = next
+	r.mu.Unlock()
+	return loaded, reused, errors.Join(errs...)
+}
+
+// Get returns the latest version of the named model.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	entries := r.models[name]
+	if len(entries) == 0 {
+		return nil, false
+	}
+	return entries[len(entries)-1], true
+}
+
+// GetVersion returns a specific version of the named model.
+func (r *Registry) GetVersion(name string, version int) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.models[name] {
+		if e.Version == version {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Len returns the number of loaded (name, version) pairs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, entries := range r.models {
+		n += len(entries)
+	}
+	return n
+}
+
+// List returns a summary of every loaded model, sorted by name then
+// version.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos := make([]Info, 0, len(r.models))
+	for _, entries := range r.models {
+		for i, e := range entries {
+			infos = append(infos, Info{
+				Name:     e.Name,
+				Version:  e.Version,
+				Latest:   i == len(entries)-1,
+				K:        e.Model.K(),
+				N:        e.Model.Dims(),
+				Kernel:   e.Model.Kernel.String(),
+				Loss:     e.Model.Loss,
+				FileName: filepath.Base(e.Path),
+			})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Name != infos[j].Name {
+			return infos[i].Name < infos[j].Name
+		}
+		return infos[i].Version < infos[j].Version
+	})
+	return infos
+}
+
+// Watch reloads the registry every interval until ctx is cancelled,
+// reporting each reload through logf (which may be nil). It is the
+// hot-reload loop run by cmd/ifair-server.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			loaded, _, err := r.Reload()
+			if err != nil {
+				logf("registry reload: %v", err)
+			}
+			if loaded > 0 {
+				logf("registry reload: %d model file(s) (re)loaded, %d total", loaded, r.Len())
+			}
+		}
+	}
+}

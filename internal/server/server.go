@@ -1,0 +1,311 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// Config sizes the serving subsystem.
+type Config struct {
+	// ModelDir is the directory of model JSON files the registry serves
+	// (`<name>.json` or `<name>@v<version>.json`).
+	ModelDir string
+	// MaxBatch is the micro-batcher's flush threshold (default 32).
+	MaxBatch int
+	// MaxWait is how long a single-row request may wait for batch
+	// partners (default 2ms; 0 disables coalescing).
+	MaxWait time.Duration
+	// Workers is the worker-pool width for batched transforms (default
+	// GOMAXPROCS).
+	Workers int
+	// RequestTimeout bounds each request's handling time (default 10s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxRows caps the number of rows per batch request (default 10000).
+	MaxRows int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 10000
+	}
+}
+
+// Server serves fitted iFair models over HTTP: batched transforms,
+// cluster-membership probabilities, a registry listing, health probes
+// and metrics.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	batcher  *Batcher
+	metrics  *Metrics
+	ready    atomic.Bool
+}
+
+// New builds a Server, performing the initial registry load. A load
+// error for individual files is returned but the server still serves
+// whatever loaded; only an unreadable directory is fatal.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.ModelDir),
+		metrics:  NewMetrics(),
+	}
+	s.batcher = NewBatcher(cfg.MaxBatch, cfg.MaxWait, cfg.Workers,
+		s.metrics.Histogram("ifair_batch_size", batchSizeBuckets))
+	if _, _, err := s.registry.Reload(); err != nil {
+		if s.registry.Len() == 0 {
+			return nil, fmt.Errorf("server: initial model load: %w", err)
+		}
+		s.ready.Store(true)
+		return s, fmt.Errorf("server: some model files failed to load: %w", err)
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Registry exposes the model registry (for hot-reload loops and tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics exposes the metrics registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Batcher exposes the micro-batcher (for draining in tests).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// Handler returns the fully instrumented HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleListModels))
+	mux.Handle("POST /v1/models/{name}/transform", s.instrument("/v1/models/transform", s.handleTransform))
+	mux.Handle("POST /v1/models/{name}/probabilities", s.instrument("/v1/models/probabilities", s.handleProbabilities))
+	return mux
+}
+
+// ---- request/response bodies ----
+
+// rowsRequest is the body of transform and probabilities requests.
+type rowsRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// transformResponse echoes the resolved model identity with the
+// transformed rows.
+type transformResponse struct {
+	Model   string      `json:"model"`
+	Version int         `json:"version"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// probabilitiesResponse carries per-row membership distributions.
+type probabilitiesResponse struct {
+	Model         string      `json:"model"`
+	Version       int         `json:"version"`
+	Probabilities [][]float64 `json:"probabilities"`
+}
+
+type listResponse struct {
+	Models []Info `json:"models"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError is an error with an HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to a JSON error response: httpError keeps its
+// status, context deadline/cancellation errors become 503, everything
+// else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		writeJSON(w, he.status, errorResponse{Error: he.msg})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request timed out"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() || s.registry.Len() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no models loaded")
+		return
+	}
+	fmt.Fprintf(w, "ready: %d model(s)\n", s.registry.Len())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.WriteTo(w)
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listResponse{Models: s.registry.List()})
+}
+
+// resolveEntry finds the model named in the URL, honouring an optional
+// ?version=N query parameter.
+func (s *Server) resolveEntry(r *http.Request) (*Entry, error) {
+	name := r.PathValue("name")
+	if v := r.URL.Query().Get("version"); v != "" {
+		ver, err := strconv.Atoi(v)
+		if err != nil || ver <= 0 {
+			return nil, badRequest("invalid version %q", v)
+		}
+		e, ok := s.registry.GetVersion(name, ver)
+		if !ok {
+			return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("model %q version %d not found", name, ver)}
+		}
+		return e, nil
+	}
+	e, ok := s.registry.Get(name)
+	if !ok {
+		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("model %q not found", name)}
+	}
+	return e, nil
+}
+
+// decodeRows parses and bounds-checks the request body.
+func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, entry *Entry) (*rowsRequest, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req rowsRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, &httpError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return nil, badRequest("invalid request body: %v", err)
+	}
+	if len(req.Rows) == 0 {
+		return nil, badRequest("request has no rows")
+	}
+	if len(req.Rows) > s.cfg.MaxRows {
+		return nil, badRequest("request has %d rows, limit is %d", len(req.Rows), s.cfg.MaxRows)
+	}
+	want := entry.Model.Dims()
+	for i, row := range req.Rows {
+		if len(row) != want {
+			return nil, badRequest("row %d has %d attributes, model %s expects %d", i, len(row), entry.Key(), want)
+		}
+	}
+	return &req, nil
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.resolveEntry(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req, err := s.decodeRows(w, r, entry)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	out := make([][]float64, len(req.Rows))
+	if len(req.Rows) == 1 {
+		// Single-row requests go through the micro-batcher so concurrent
+		// callers share one batched transform.
+		row, err := s.batcher.TransformRow(r.Context(), entry, req.Rows[0])
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out[0] = row
+	} else {
+		x := mat.FromRows(req.Rows)
+		xt, err := entry.Model.TransformParallelChecked(x, s.cfg.Workers)
+		if err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		for i := range out {
+			out[i] = xt.Row(i)
+		}
+	}
+	writeJSON(w, http.StatusOK, transformResponse{Model: entry.Name, Version: entry.Version, Rows: out})
+}
+
+func (s *Server) handleProbabilities(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.resolveEntry(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req, err := s.decodeRows(w, r, entry)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	probs := make([][]float64, len(req.Rows))
+	for i, row := range req.Rows {
+		u, err := entry.Model.ProbabilitiesChecked(row)
+		if err != nil {
+			writeError(w, badRequest("row %d: %v", i, err))
+			return
+		}
+		probs[i] = u
+	}
+	writeJSON(w, http.StatusOK, probabilitiesResponse{Model: entry.Name, Version: entry.Version, Probabilities: probs})
+}

@@ -1,0 +1,365 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer spins up a server over a temp model directory holding
+// credit v1+v2 and hiring v1.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	writeModelFile(t, dir, "credit.json", testModel(2, 3))
+	writeModelFile(t, dir, "credit@v2.json", testModel(4, 3))
+	writeModelFile(t, dir, "hiring.json", testModel(3, 5))
+	cfg.ModelDir = dir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestTransformRoundTripMatchesModel(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	entry, _ := s.Registry().Get("credit")
+
+	rows := [][]float64{
+		{0.5, -1, 2},
+		{1, 1, 1},
+		{0, 0, 0},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/models/credit/transform", rowsRequest{Rows: rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var tr transformResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model != "credit" || tr.Version != 2 {
+		t.Fatalf("resolved %s@v%d, want credit latest (v2)", tr.Model, tr.Version)
+	}
+	// The acceptance bar: served rows identical to Model.Transform output.
+	for i, row := range rows {
+		want := entry.Model.TransformRow(row)
+		for j := range want {
+			if tr.Rows[i][j] != want[j] {
+				t.Fatalf("row %d differs from Model.Transform: %v vs %v", i, tr.Rows[i], want)
+			}
+		}
+	}
+}
+
+func TestTransformVersionSelection(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	v1, _ := s.Registry().GetVersion("credit", 1)
+	resp, body := postJSON(t, ts.URL+"/v1/models/credit/transform?version=1",
+		rowsRequest{Rows: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var tr transformResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != 1 {
+		t.Fatalf("version = %d, want 1", tr.Version)
+	}
+	want := v1.Model.TransformRow([]float64{1, 2, 3})
+	for j := range want {
+		if tr.Rows[0][j] != want[j] {
+			t.Fatal("versioned transform differs from the v1 model")
+		}
+	}
+}
+
+func TestProbabilitiesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/models/hiring/probabilities",
+		rowsRequest{Rows: [][]float64{{1, 2, 3, 4, 5}, {0, 0, 0, 0, 0}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var pr probabilitiesResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Probabilities) != 2 {
+		t.Fatalf("got %d membership rows, want 2", len(pr.Probabilities))
+	}
+	for _, u := range pr.Probabilities {
+		if len(u) != 3 {
+			t.Fatalf("membership width %d, want K=3", len(u))
+		}
+		var sum float64
+		for _, p := range u {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("memberships sum to %v", sum)
+		}
+	}
+}
+
+func TestListModelsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/v1/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var lr listResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Models) != 3 {
+		t.Fatalf("listed %d models, want 3: %+v", len(lr.Models), lr.Models)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRows: 2})
+	cases := []struct {
+		name   string
+		url    string
+		body   string
+		status int
+	}{
+		{"unknown model", "/v1/models/nope/transform", `{"rows":[[1,2,3]]}`, http.StatusNotFound},
+		{"unknown version", "/v1/models/credit/transform?version=9", `{"rows":[[1,2,3]]}`, http.StatusNotFound},
+		{"bad version", "/v1/models/credit/transform?version=zero", `{"rows":[[1,2,3]]}`, http.StatusBadRequest},
+		{"wrong width", "/v1/models/credit/transform", `{"rows":[[1,2]]}`, http.StatusBadRequest},
+		{"wrong width probabilities", "/v1/models/credit/probabilities", `{"rows":[[1]]}`, http.StatusBadRequest},
+		{"empty rows", "/v1/models/credit/transform", `{"rows":[]}`, http.StatusBadRequest},
+		{"too many rows", "/v1/models/credit/transform", `{"rows":[[1,2,3],[1,2,3],[1,2,3]]}`, http.StatusBadRequest},
+		{"malformed json", "/v1/models/credit/transform", `{"rows":`, http.StatusBadRequest},
+		{"unknown field", "/v1/models/credit/transform", `{"rowz":[[1,2,3]]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.url, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, resp.StatusCode, c.status, data)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q is not a JSON error", c.name, data)
+		}
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 16})
+	resp, _ := postJSON(t, ts.URL+"/v1/models/credit/transform",
+		rowsRequest{Rows: [][]float64{{1.123456789, 2.123456789, 3.123456789}, {1, 2, 3}}})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+	// Empty the registry: readyz must flip to 503 while healthz stays 200.
+	s.ready.Store(false)
+	if resp, _ := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no models = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz should stay 200")
+	}
+}
+
+func TestMetricsEndpointReportsTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/v1/models/credit/transform", rowsRequest{Rows: [][]float64{{1, 2, 3}, {0, 0, 0}}})
+	}
+	postJSON(t, ts.URL+"/v1/models/nope/transform", rowsRequest{Rows: [][]float64{{1, 2, 3}}})
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`ifair_http_requests_total{code="200",path="/v1/models/transform"} 3`,
+		`ifair_http_requests_total{code="404",path="/v1/models/transform"} 1`,
+		`ifair_http_errors_total{code="404",path="/v1/models/transform"} 1`,
+		`ifair_http_request_duration_seconds_count{path="/v1/models/transform"} 4`,
+		`ifair_http_request_duration_seconds{path="/v1/models/transform",quantile="0.5"}`,
+		`ifair_http_request_duration_seconds{path="/v1/models/transform",quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentSingleRowRequestsCoalesce is the acceptance check that
+// concurrent single-row HTTP requests are observably micro-batched: the
+// batch-size histogram must record at least one batch with > 1 rows.
+func TestConcurrentSingleRowRequestsCoalesce(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBatch: 64, MaxWait: 50 * time.Millisecond})
+	client := &http.Client{}
+	const callers = 12
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"rows":[[%d, 1, -1]]}`, g)
+			resp, err := client.Post(ts.URL+"/v1/models/credit/transform", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d", resp.StatusCode)
+			}
+		}(g)
+	}
+	wg.Wait()
+	sizes := s.Metrics().Histogram("ifair_batch_size", batchSizeBuckets)
+	if sizes.Count() == 0 {
+		t.Fatal("no batches recorded")
+	}
+	if sizes.Max() < 2 {
+		t.Fatalf("max observed batch size = %v, want > 1 (requests were not coalesced)", sizes.Max())
+	}
+}
+
+// TestGracefulShutdownDrains verifies the serving contract cmd/ifair-server
+// relies on: http.Server.Shutdown lets an in-flight (micro-batched)
+// request finish and the client receives its 200.
+func TestGracefulShutdownDrains(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "m.json", testModel(2, 3))
+	s, err := New(Config{ModelDir: dir, MaxBatch: 64, MaxWait: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+
+	type result struct {
+		status int
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		// This request sits in the micro-batch window when Shutdown fires.
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/models/m/transform",
+			"application/json", strings.NewReader(`{"rows":[[1,2,3]]}`))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resCh <- result{status: resp.StatusCode}
+	}()
+
+	time.Sleep(30 * time.Millisecond) // let the request enter the batcher
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request got %d, want 200", res.status)
+	}
+}
+
+func TestNewFailsOnMissingDir(t *testing.T) {
+	if _, err := New(Config{ModelDir: "/nonexistent/model/dir"}); err == nil {
+		t.Fatal("expected error for unreadable model dir")
+	}
+}
+
+func TestRequestTimeoutReturns503(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "m.json", testModel(2, 2))
+	s, err := New(Config{
+		ModelDir:       dir,
+		MaxBatch:       1000,             // never size-flush
+		MaxWait:        10 * time.Second, // never timer-flush in time
+		RequestTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Batcher().Flush()
+	resp, body := postJSON(t, ts.URL+"/v1/models/m/transform", rowsRequest{Rows: [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503 on request timeout", resp.StatusCode, body)
+	}
+}

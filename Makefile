@@ -4,7 +4,7 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test race cover bench experiments examples serve fmt vet clean
+.PHONY: all build test race cover bench bench-fit experiments examples serve fmt vet clean
 
 # vet and race run on every default invocation so the concurrent
 # registry/batcher code in internal/server is race-checked routinely.
@@ -24,6 +24,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Parallel-restart training benchmark (1/2/4 workers), archived as JSON
+# for cross-commit comparison.
+bench-fit:
+	$(GO) test -run='^$$' -bench=FitParallelRestarts -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
 
 # Regenerate every table and figure (trimmed grid; add FULL=1 for the
 # paper's full Sec. V-B grid).

@@ -359,6 +359,29 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 	}
 }
 
+// BenchmarkFitParallelRestarts measures the wall-clock effect of training
+// the best-of-8 restart protocol on 1, 2 and 4 workers. Every variant
+// returns the bit-identical winning model; only the schedule differs.
+func BenchmarkFitParallelRestarts(b *testing.B) {
+	x := ablationData(300)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName("Workers", workers), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				model, err := ifair.FitContext(context.Background(), x, ifair.Options{
+					K: 8, Lambda: 1, Mu: 1, Fairness: ifair.SampledFairness,
+					MaxIterations: 20, Restarts: 8, RestartWorkers: workers, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = model.Loss
+			}
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
 // BenchmarkTransform measures the pure inference cost of mapping records
 // through a fitted model (the hot path for deployed pipelines).
 func BenchmarkTransform(b *testing.B) {

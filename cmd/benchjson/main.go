@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` text output, read from
+// stdin, into a JSON array so benchmark results can be archived and
+// diffed across commits.
+//
+// Usage:
+//
+//	go test -bench=FitParallelRestarts -benchmem . | benchjson -out BENCH_fit.json
+//
+// Each benchmark line becomes one object carrying the benchmark name, GOMAXPROCS
+// suffix, iteration count, ns/op, and any extra metrics (B/op, allocs/op,
+// custom b.ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the -N GOMAXPROCS suffix,
+	// e.g. "BenchmarkFitParallelRestarts/Workers=4".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 if absent).
+	Procs int `json:"procs"`
+	// Iterations is the b.N the measurement ran with.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "<value> <unit>" pair on the line,
+	// keyed by unit: B/op, allocs/op and custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+}
+
+// parse extracts benchmark lines from go-test output, ignoring everything
+// else (status lines, PASS/ok footers, build noise).
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	var results []Result
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid line: name, iterations, value, unit.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Procs: 1, Iterations: iters}
+		if i := strings.LastIndex(r.Name, "-"); i > 0 {
+			if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+				r.Name, r.Procs = r.Name[:i], p
+			}
+		}
+		// The rest of the line is "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp = v
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

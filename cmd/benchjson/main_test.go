@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFitParallelRestarts/Workers=1-8         	       2	 512345678 ns/op	         0.1234 final_loss	 1024 B/op	      12 allocs/op
+BenchmarkFitParallelRestarts/Workers=4-8         	       8	 131072000 ns/op	         0.1234 final_loss
+BenchmarkTransform    	    1000	   1048576 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkFitParallelRestarts/Workers=1" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 2 || r.NsPerOp != 512345678 {
+		t.Fatalf("iterations/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.Metrics["final_loss"] != 0.1234 || r.Metrics["B/op"] != 1024 || r.Metrics["allocs/op"] != 12 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if got := results[2]; got.Name != "BenchmarkTransform" || got.Procs != 1 || got.Metrics != nil {
+		t.Fatalf("plain line parsed as %+v", got)
+	}
+}
+
+func TestParseSkipsNonBenchLines(t *testing.T) {
+	results, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok repro 1s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise", len(results))
+	}
+}

@@ -12,16 +12,22 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/dataset"
+	"repro/internal/optimize"
 	"repro/internal/pipeline"
 	"repro/internal/viz"
 )
@@ -69,6 +75,7 @@ func main() {
 		records = flag.Int("records", 0, "override simulated record count for classification datasets")
 		csvOut  = flag.String("csv", "", "directory to write per-experiment CSV artefacts into")
 		plot    = flag.Bool("plot", false, "render ASCII charts for fig3 and fig4")
+		trace   = flag.Bool("trace", false, "print structured TRAIN lines for every optimizer restart to stderr")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -79,8 +86,16 @@ func main() {
 		cfg = pipeline.PaperStudyConfig(*seed)
 	}
 	cfg.Parallel = runtime.NumCPU()
+	if *trace {
+		cfg.Trace = &trainTrace{w: os.Stderr}
+	}
 
-	experiments := map[string]func(pipeline.StudyConfig, int) error{
+	// SIGINT/SIGTERM abort the current study; every fit in flight stops
+	// within one optimizer iteration.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	experiments := map[string]func(context.Context, pipeline.StudyConfig, int) error{
 		"table2":   runTable2,
 		"fig2":     runFig2,
 		"fig3":     runFig3,
@@ -110,11 +125,42 @@ func main() {
 	}
 
 	for _, name := range targets {
-		if err := experiments[name](cfg, *records); err != nil {
+		if err := experiments[name](ctx, cfg, *records); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// trainTrace emits one structured line per optimizer event, suitable for
+// grep/awk. Restarts train concurrently, so writes are mutex-guarded.
+type trainTrace struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (t *trainTrace) RestartStart(r int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "TRAIN event=restart-start restart=%d\n", r)
+}
+
+func (t *trainTrace) Iteration(r int, it optimize.Iteration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "TRAIN event=iteration restart=%d iter=%d loss=%.6g gradnorm=%.3g step=%.3g evals=%d\n",
+		r, it.Iter, it.F, it.GradNorm, it.Step, it.Evals)
+}
+
+func (t *trainTrace) RestartEnd(r int, res optimize.Result, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(t.w, "TRAIN event=restart-end restart=%d error=%q\n", r, err)
+		return
+	}
+	fmt.Fprintf(t.w, "TRAIN event=restart-end restart=%d status=%q iters=%d loss=%.6g\n",
+		r, res.Status, res.Iterations, res.F)
 }
 
 // quickConfig trades grid breadth for runtime; EXPERIMENTS.md documents the
@@ -151,7 +197,7 @@ func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-func runTable2(cfg pipeline.StudyConfig, records int) error {
+func runTable2(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Table II: dataset statistics (simulated equivalents)")
 	fmt.Printf("%-10s %9s %6s %10s %12s %9s %8s\n",
 		"Dataset", "Records", "Dims", "BaseRate+", "BaseRate-", "%Prot", "Queries")
@@ -169,9 +215,9 @@ func runTable2(cfg pipeline.StudyConfig, records int) error {
 	return nil
 }
 
-func runFig2(cfg pipeline.StudyConfig, _ int) error {
+func runFig2(ctx context.Context, cfg pipeline.StudyConfig, _ int) error {
 	header("Figure 2: properties on synthetic data (Acc / yNN / Parity / EqOpp)")
-	cells, err := pipeline.Fig2Study(cfg)
+	cells, err := pipeline.Fig2StudyContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -184,11 +230,11 @@ func runFig2(cfg pipeline.StudyConfig, _ int) error {
 	return writeSeries("fig2", []string{"variant", "method", "acc", "ynn", "parity", "eqopp"}, rows)
 }
 
-func runFig3(cfg pipeline.StudyConfig, records int) error {
+func runFig3(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Figure 3: utility (AUC) vs individual fairness (yNN) trade-off")
 	var rows [][]string
 	for _, ds := range classificationDatasets(cfg, records) {
-		results, err := pipeline.TradeoffStudy(ds, cfg)
+		results, err := pipeline.TradeoffStudyContext(ctx, ds, cfg)
 		if err != nil {
 			return err
 		}
@@ -236,11 +282,11 @@ func runFig3(cfg pipeline.StudyConfig, records int) error {
 	return writeSeries("fig3", []string{"dataset", "method", "params", "auc", "ynn", "pareto"}, rows)
 }
 
-func runTable3(cfg pipeline.StudyConfig, records int) error {
+func runTable3(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Table III: classification detail under three tuning criteria")
 	var csvRows [][]string
 	for _, ds := range classificationDatasets(cfg, records) {
-		rows, err := pipeline.Table3(ds, cfg)
+		rows, err := pipeline.Table3Context(ctx, ds, cfg)
 		if err != nil {
 			return err
 		}
@@ -260,9 +306,9 @@ func runTable3(cfg pipeline.StudyConfig, records int) error {
 	return writeSeries("table3", []string{"dataset", "tuning", "method", "acc", "auc", "eqopp", "parity", "ynn"}, csvRows)
 }
 
-func runTable4(cfg pipeline.StudyConfig, _ int) error {
+func runTable4(ctx context.Context, cfg pipeline.StudyConfig, _ int) error {
 	header("Table IV: sensitivity of iFair to ranking-score weights (Xing)")
-	rows, err := pipeline.Table4(cfg, nil)
+	rows, err := pipeline.Table4Context(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -281,12 +327,12 @@ func runTable4(cfg pipeline.StudyConfig, _ int) error {
 	return writeSeries("table4", []string{"w_work", "w_edu", "w_views", "baserate_prot", "map", "kt", "ynn", "pct_protected"}, csvRows)
 }
 
-func runTable5(cfg pipeline.StudyConfig, _ int) error {
+func runTable5(ctx context.Context, cfg pipeline.StudyConfig, _ int) error {
 	header("Table V: ranking task (criterion Optimal)")
 	fairPs := map[string][]float64{"xing": {0.5, 0.9}, "airbnb": {0.5, 0.6}}
 	var csvRows [][]string
 	for _, ds := range rankingDatasets(cfg) {
-		results, err := pipeline.Table5(ds, cfg, fairPs[ds.Name])
+		results, err := pipeline.Table5Context(ctx, ds, cfg, fairPs[ds.Name])
 		if err != nil {
 			return err
 		}
@@ -304,7 +350,7 @@ func runTable5(cfg pipeline.StudyConfig, _ int) error {
 	return writeSeries("table5", []string{"dataset", "method", "map", "kt", "ynn", "pct_protected"}, csvRows)
 }
 
-func runFig4(cfg pipeline.StudyConfig, records int) error {
+func runFig4(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Figure 4: adversarial accuracy of predicting protected membership (lower is better)")
 	fmt.Printf("%-10s %-12s %9s\n", "Dataset", "Method", "Adv. Acc")
 	all := classificationDatasets(cfg, records)
@@ -313,7 +359,7 @@ func runFig4(cfg pipeline.StudyConfig, records int) error {
 	var barLabels []string
 	var barValues []float64
 	for _, ds := range all {
-		cells, err := pipeline.AdversarialStudy(ds, cfg)
+		cells, err := pipeline.AdversarialStudyContext(ctx, ds, cfg)
 		if err != nil {
 			return err
 		}
@@ -331,7 +377,7 @@ func runFig4(cfg pipeline.StudyConfig, records int) error {
 	return writeSeries("fig4", []string{"dataset", "method", "adversarial_accuracy"}, csvRows)
 }
 
-func runAudit(cfg pipeline.StudyConfig, records int) error {
+func runAudit(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Definition-1 audit (extension): distance-preservation violations, held-out pairs")
 	fmt.Printf("%-10s %-12s %9s %9s %9s %9s %9s\n",
 		"Dataset", "Method", "mean", "p50", "p90", "p99", "eps(max)")
@@ -339,7 +385,7 @@ func runAudit(cfg pipeline.StudyConfig, records int) error {
 	all = append(all, rankingDatasets(cfg)...)
 	var csvRows [][]string
 	for _, ds := range all {
-		rows, err := pipeline.AuditStudy(ds, cfg)
+		rows, err := pipeline.AuditStudyContext(ctx, ds, cfg)
 		if err != nil {
 			return err
 		}
@@ -353,14 +399,14 @@ func runAudit(cfg pipeline.StudyConfig, records int) error {
 	return writeSeries("audit", []string{"dataset", "method", "mean", "p50", "p90", "p99", "epsilon"}, csvRows)
 }
 
-func runAgnostic(cfg pipeline.StudyConfig, records int) error {
+func runAgnostic(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Application-agnosticism (extension): same representation, different downstream models")
 	fmt.Printf("%-10s %-12s %-12s %9s %7s\n", "Dataset", "Repr", "Downstream", "Utility", "yNN")
 	all := classificationDatasets(cfg, records)
 	all = append(all, rankingDatasets(cfg)...)
 	var csvRows [][]string
 	for _, ds := range all {
-		rows, err := pipeline.AgnosticStudy(ds, cfg)
+		rows, err := pipeline.AgnosticStudyContext(ctx, ds, cfg)
 		if err != nil {
 			return err
 		}
@@ -372,7 +418,7 @@ func runAgnostic(cfg pipeline.StudyConfig, records int) error {
 	return writeSeries("agnostic", []string{"dataset", "representation", "downstream", "utility", "ynn"}, csvRows)
 }
 
-func runVariance(cfg pipeline.StudyConfig, records int) error {
+func runVariance(ctx context.Context, cfg pipeline.StudyConfig, records int) error {
 	header("Run-to-run variance (extension): mean ± std across 5 seeds")
 	fmt.Printf("%-10s %-12s %14s %14s %8s %8s\n", "Dataset", "Method", "AUC", "yNN", "Parity", "EqOpp")
 	seeds := []int64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2, cfg.Seed + 3, cfg.Seed + 4}
@@ -389,7 +435,7 @@ func runVariance(cfg pipeline.StudyConfig, records int) error {
 	}
 	var csvRows [][]string
 	for _, name := range []string{"compas", "census", "credit"} {
-		rows, err := pipeline.RepeatStudy(gens[name], cfg, seeds)
+		rows, err := pipeline.RepeatStudyContext(ctx, gens[name], cfg, seeds)
 		if err != nil {
 			return err
 		}
@@ -403,12 +449,12 @@ func runVariance(cfg pipeline.StudyConfig, records int) error {
 	return writeSeries("variance", []string{"dataset", "method", "mean_auc", "std_auc", "mean_ynn", "std_ynn", "mean_parity", "mean_eqopp"}, csvRows)
 }
 
-func runFig5(cfg pipeline.StudyConfig, _ int) error {
+func runFig5(ctx context.Context, cfg pipeline.StudyConfig, _ int) error {
 	header("Figure 5: FA*IR applied to iFair representations")
 	ps := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	var csvRows [][]string
 	for _, ds := range rankingDatasets(cfg) {
-		points, err := pipeline.PostProcessStudy(ds, cfg, ps)
+		points, err := pipeline.PostProcessStudyContext(ctx, ds, cfg, ps)
 		if err != nil {
 			return err
 		}

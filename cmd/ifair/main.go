@@ -12,17 +12,23 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/ifair"
 	"repro/internal/mat"
+	"repro/internal/optimize"
 	"repro/internal/stats"
 )
 
@@ -44,6 +50,8 @@ func run() error {
 		mu        = flag.Float64("mu", 1, "individual fairness loss weight µ")
 		variantB  = flag.Bool("maskedinit", true, "use iFair-b initialisation (near-zero protected weights)")
 		restarts  = flag.Int("restarts", 3, "random restarts (best final loss wins)")
+		workers   = flag.Int("restart-workers", runtime.NumCPU(), "restarts trained concurrently (1 = serial; same model either way)")
+		progress  = flag.Bool("progress", false, "print per-restart training progress to stderr")
 		maxIter   = flag.Int("maxiter", 150, "maximum L-BFGS iterations")
 		seed      = flag.Int64("seed", 42, "random seed")
 		saveModel = flag.String("save", "", "write the trained model as JSON to this path")
@@ -71,19 +79,27 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "loaded iFair model: K=%d, N=%d\n", model.K(), model.Dims())
 	} else {
 		opts := ifair.Options{
-			K:             *k,
-			Lambda:        *lambda,
-			Mu:            *mu,
-			Protected:     protCols,
-			Fairness:      ifair.SampledFairness,
-			Restarts:      *restarts,
-			MaxIterations: *maxIter,
-			Seed:          *seed,
+			K:              *k,
+			Lambda:         *lambda,
+			Mu:             *mu,
+			Protected:      protCols,
+			Fairness:       ifair.SampledFairness,
+			Restarts:       *restarts,
+			RestartWorkers: *workers,
+			MaxIterations:  *maxIter,
+			Seed:           *seed,
 		}
 		if *variantB {
 			opts.Init = ifair.InitMaskedProtected
 		}
-		model, err = ifair.Fit(x, opts)
+		if *progress {
+			opts.Trace = &progressTrace{w: os.Stderr}
+		}
+		// SIGINT/SIGTERM cancel the fit; the engine stops every in-flight
+		// restart within one iteration.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		model, err = ifair.FitContext(ctx, x, opts)
 		if err != nil {
 			return err
 		}
@@ -121,6 +137,37 @@ func run() error {
 		w = f
 	}
 	return writeCSV(w, header, model.Transform(x))
+}
+
+// progressTrace prints restart and iteration events as human-readable
+// stderr lines. Restarts run concurrently, so writes are mutex-guarded.
+type progressTrace struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (p *progressTrace) RestartStart(r int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "restart %d: started\n", r)
+}
+
+func (p *progressTrace) Iteration(r int, it optimize.Iteration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "restart %d: iter %3d  loss %.6g  |grad| %.3g  step %.3g\n",
+		r, it.Iter, it.F, it.GradNorm, it.Step)
+}
+
+func (p *progressTrace) RestartEnd(r int, res optimize.Result, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(p.w, "restart %d: failed: %v\n", r, err)
+		return
+	}
+	fmt.Fprintf(p.w, "restart %d: %s after %d iterations, final loss %.6g\n",
+		r, res.Status, res.Iterations, res.F)
 }
 
 // loadData resolves the input source: a simulator name or a CSV file.

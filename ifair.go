@@ -11,6 +11,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/adversarial"
 	"repro/internal/dataset"
 	"repro/internal/fairrank"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/linmodel"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 	"repro/internal/pipeline"
 )
 
@@ -65,8 +68,50 @@ const (
 	InverseKernel = ifair.InverseKernel
 )
 
-// Fit learns an individually fair representation of x.
+// Fit learns an individually fair representation of x. It is a
+// convenience wrapper around FitContext with a background context.
 func Fit(x *Matrix, opts Options) (*Model, error) { return ifair.Fit(x, opts) }
+
+// FitContext is Fit with cancellation and observability: ctx cancellation
+// stops every in-flight restart within one optimizer iteration, per-restart
+// progress streams to opts.Trace, and opts.RestartWorkers restarts train
+// concurrently (the returned model is bit-identical to the serial one).
+func FitContext(ctx context.Context, x *Matrix, opts Options) (*Model, error) {
+	return ifair.FitContext(ctx, x, opts)
+}
+
+// ---- training observability ----
+
+// Trace receives optimizer progress events during a fit. Implementations
+// must be safe for concurrent use: restarts may train in parallel.
+type Trace = ifair.Trace
+
+// Iteration is one accepted optimizer step, as reported to a Trace and to
+// the per-iteration Callback of the low-level optimizer settings.
+type Iteration = ifair.Iteration
+
+// OptResult is the final state of one optimizer run, as reported to
+// Trace.RestartEnd.
+type OptResult = optimize.Result
+
+// ---- checked transforms ----
+//
+// Model's method set offers both panicking (Transform, TransformRow,
+// Probabilities) and error-returning (TransformChecked, ...) variants; the
+// package-level functions below are the error-returning surface under the
+// plain names, for callers that handle malformed input gracefully.
+
+// Transform maps every row of x to its fair representation, returning an
+// error instead of panicking on dimension mismatch or non-finite input.
+func Transform(m *Model, x *Matrix) (*Matrix, error) { return m.TransformChecked(x) }
+
+// TransformRow maps one record to its fair representation, returning an
+// error instead of panicking on malformed input.
+func TransformRow(m *Model, x []float64) ([]float64, error) { return m.TransformRowChecked(x) }
+
+// Probabilities returns the prototype-membership distribution u for one
+// record, returning an error instead of panicking on malformed input.
+func Probabilities(m *Model, x []float64) ([]float64, error) { return m.ProbabilitiesChecked(x) }
 
 // DecodeModel reads a model previously serialised with Model.Encode.
 var DecodeModel = ifair.DecodeModel
@@ -84,9 +129,16 @@ type LFRModel = lfr.Model
 // LFROptions configures FitLFR.
 type LFROptions = lfr.Options
 
-// FitLFR trains the LFR baseline.
+// FitLFR trains the LFR baseline. It is a convenience wrapper around
+// FitLFRContext with a background context.
 func FitLFR(x *Matrix, y, protected []bool, opts LFROptions) (*LFRModel, error) {
 	return lfr.Fit(x, y, protected, opts)
+}
+
+// FitLFRContext is FitLFR with cancellation, tracing and parallel
+// restarts, mirroring FitContext.
+func FitLFRContext(ctx context.Context, x *Matrix, y, protected []bool, opts LFROptions) (*LFRModel, error) {
+	return lfr.FitContext(ctx, x, y, protected, opts)
 }
 
 // CensoredModel is the censored-representation baseline from the paper's
@@ -97,9 +149,16 @@ type CensoredModel = adversarial.Model
 // CensoredOptions configures FitCensored.
 type CensoredOptions = adversarial.Options
 
-// FitCensored trains the censoring projection.
+// FitCensored trains the censoring projection. It is a convenience
+// wrapper around FitCensoredContext with a background context.
 func FitCensored(x *Matrix, protected []bool, opts CensoredOptions) (*CensoredModel, error) {
 	return adversarial.Fit(x, protected, opts)
+}
+
+// FitCensoredContext is FitCensored with cancellation; its deterministic
+// null-space rounds report to opts.Trace as restart 0.
+func FitCensoredContext(ctx context.Context, x *Matrix, protected []bool, opts CensoredOptions) (*CensoredModel, error) {
+	return adversarial.FitContext(ctx, x, protected, opts)
 }
 
 // FairRanking is the output of the FA*IR re-ranking baseline.
@@ -228,7 +287,8 @@ type StudyConfig = pipeline.StudyConfig
 // PaperStudyConfig returns the full Sec. V-B grid.
 var PaperStudyConfig = pipeline.PaperStudyConfig
 
-// Studies reproducing the paper's tables and figures.
+// Studies reproducing the paper's tables and figures. Each is a
+// convenience wrapper around its Context counterpart below.
 var (
 	Fig2Study        = pipeline.Fig2Study
 	TradeoffStudy    = pipeline.TradeoffStudy
@@ -237,4 +297,16 @@ var (
 	Table5           = pipeline.Table5
 	AdversarialStudy = pipeline.AdversarialStudy
 	PostProcessStudy = pipeline.PostProcessStudy
+)
+
+// Context-aware study variants: cancelling ctx aborts the grid, including
+// every training run in flight; StudyConfig.Trace observes all of them.
+var (
+	Fig2StudyContext        = pipeline.Fig2StudyContext
+	TradeoffStudyContext    = pipeline.TradeoffStudyContext
+	Table3Context           = pipeline.Table3Context
+	Table4Context           = pipeline.Table4Context
+	Table5Context           = pipeline.Table5Context
+	AdversarialStudyContext = pipeline.AdversarialStudyContext
+	PostProcessStudyContext = pipeline.PostProcessStudyContext
 )

@@ -1,8 +1,11 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -26,6 +29,120 @@ func TestFacadeEndToEnd(t *testing.T) {
 	xt := model.Transform(ds.X)
 	if r, c := xt.Dims(); r != ds.Rows() || c != ds.Cols() {
 		t.Fatalf("transform dims %d×%d", r, c)
+	}
+}
+
+// facadeTrace counts optimizer events through the public Trace surface.
+type facadeTrace struct {
+	mu                  sync.Mutex
+	starts, iters, ends int
+}
+
+func (f *facadeTrace) RestartStart(int) {
+	f.mu.Lock()
+	f.starts++
+	f.mu.Unlock()
+}
+
+func (f *facadeTrace) Iteration(int, Iteration) {
+	f.mu.Lock()
+	f.iters++
+	f.mu.Unlock()
+}
+
+func (f *facadeTrace) RestartEnd(int, OptResult, error) {
+	f.mu.Lock()
+	f.ends++
+	f.mu.Unlock()
+}
+
+// TestFacadeContextAPI exercises FitContext end to end: parallel restarts
+// reproduce the serial model bit for bit, the Trace observes every
+// restart, and a cancelled context aborts the fit.
+func TestFacadeContextAPI(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 200, Seed: 3})
+	opts := Options{
+		K: 4, Lambda: 1, Mu: 1,
+		Protected: ds.ProtectedCols,
+		Init:      IFairB, Fairness: SampledFairness,
+		Restarts: 4, MaxIterations: 30, Seed: 9,
+	}
+	serial, err := Fit(ds.X, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &facadeTrace{}
+	par := opts
+	par.RestartWorkers = 4
+	par.Trace = tr
+	parallel, err := FitContext(context.Background(), ds.X, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Loss != parallel.Loss {
+		t.Fatalf("parallel loss %v != serial loss %v", parallel.Loss, serial.Loss)
+	}
+	if tr.starts != opts.Restarts || tr.ends != opts.Restarts || tr.iters == 0 {
+		t.Fatalf("trace saw starts=%d iters=%d ends=%d", tr.starts, tr.iters, tr.ends)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FitContext(ctx, ds.X, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled FitContext err = %v, want context.Canceled", err)
+	}
+	if _, err := FitCensoredContext(ctx, ds.X, ds.Protected, CensoredOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled FitCensoredContext err = %v, want context.Canceled", err)
+	}
+	if _, err := FitLFRContext(ctx, ds.X, ds.Label, ds.Protected, LFROptions{K: 3, Az: 1, Ax: 1, Ay: 1, MaxIterations: 10, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled FitLFRContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFacadeCheckedTransforms covers the error-returning transform surface
+// the quickstart uses.
+func TestFacadeCheckedTransforms(t *testing.T) {
+	ds := Credit(ClassificationConfig{Records: 120, Seed: 8})
+	model, err := Fit(ds.X, Options{K: 3, Lambda: 1, Mu: 1, Protected: ds.ProtectedCols, Seed: 1, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := Transform(model, ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := xt.Dims(); r != ds.Rows() || c != ds.Cols() {
+		t.Fatalf("Transform dims %d×%d", r, c)
+	}
+	row, err := TransformRow(model, ds.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range row {
+		if row[j] != xt.At(0, j) {
+			t.Fatal("TransformRow disagrees with Transform")
+		}
+	}
+	u, err := Probabilities(model, ds.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range u {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("membership distribution sums to %v", sum)
+	}
+	if _, err := TransformRow(model, []float64{1}); err == nil {
+		t.Fatal("short record should error, not panic")
+	}
+	if _, err := Probabilities(model, make([]float64, ds.Cols()+1)); err == nil {
+		t.Fatal("long record should error, not panic")
+	}
+	if _, err := Transform(model, NewMatrix(2, ds.Cols()+1)); err == nil {
+		t.Fatal("wrong-width matrix should error, not panic")
 	}
 }
 

@@ -18,6 +18,7 @@
 package adversarial
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/linmodel"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 )
 
 // Options configures Fit.
@@ -40,6 +42,11 @@ type Options struct {
 	// Seed is kept for API symmetry with the other learners (the
 	// procedure itself is deterministic).
 	Seed int64
+	// Trace, when non-nil, observes training through the shared engine
+	// protocol: the whole procedure reports as restart 0, each
+	// probe-and-project round as one iteration event whose F is the
+	// probe's accuracy.
+	Trace optimize.Trace
 }
 
 func (o *Options) fill() error {
@@ -76,7 +83,19 @@ var ErrNoData = errors.New("adversarial: no training data")
 
 // Fit runs iterative null-space projection on x with respect to the
 // protected flags.
+//
+// Fit is a convenience wrapper around FitContext with a background
+// context: it cannot be cancelled.
 func Fit(x *mat.Dense, protected []bool, opts Options) (*Model, error) {
+	return FitContext(context.Background(), x, protected, opts)
+}
+
+// FitContext is Fit with cancellation and observability. The procedure is
+// deterministic and has no random restarts, so it reports through
+// opts.Trace as a single restart (index 0) whose iteration events carry
+// the probe accuracy of each round. Cancelling ctx stops between rounds
+// and returns ctx.Err().
+func FitContext(ctx context.Context, x *mat.Dense, protected []bool, opts Options) (*Model, error) {
 	m, n := x.Dims()
 	if m == 0 || n == 0 {
 		return nil, ErrNoData
@@ -85,6 +104,9 @@ func Fit(x *mat.Dense, protected []bool, opts Options) (*Model, error) {
 		return nil, fmt.Errorf("adversarial: %d flags for %d rows", len(protected), m)
 	}
 	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -100,17 +122,35 @@ func Fit(x *mat.Dense, protected []bool, opts Options) (*Model, error) {
 		return &Model{P: mat.Identity(n), ProbeAccuracy: majority}, nil
 	}
 
+	if opts.Trace != nil {
+		opts.Trace.RestartStart(0)
+	}
 	proj := mat.Identity(n)
 	current := x.Clone()
 	rounds := 0
 	probeAcc := 1.0
+	censored := false
 	for rounds < opts.MaxRounds {
+		if err := ctx.Err(); err != nil {
+			if opts.Trace != nil {
+				opts.Trace.RestartEnd(0, optimize.Result{F: probeAcc, Iterations: rounds, Status: optimize.Stopped}, err)
+			}
+			return nil, err
+		}
 		probe, err := linmodel.FitLogistic(current, protected, opts.ProbeL2)
 		if err != nil {
-			return nil, fmt.Errorf("adversarial: round %d probe: %w", rounds, err)
+			err = fmt.Errorf("adversarial: round %d probe: %w", rounds, err)
+			if opts.Trace != nil {
+				opts.Trace.RestartEnd(0, optimize.Result{F: probeAcc, Iterations: rounds, Status: optimize.LineSearchFailed}, err)
+			}
+			return nil, err
 		}
 		probeAcc = metrics.Accuracy(probe.PredictProba(current), protected)
+		if opts.Trace != nil {
+			opts.Trace.Iteration(0, optimize.Iteration{Iter: rounds, F: probeAcc})
+		}
 		if probeAcc <= majority+opts.StopMargin {
+			censored = true
 			break
 		}
 		// Normalise the probe direction (bias excluded) and project it
@@ -125,6 +165,13 @@ func Fit(x *mat.Dense, protected []bool, opts Options) (*Model, error) {
 		proj = mat.Mul(proj, elim)
 		current = mat.Mul(current, elim)
 		rounds++
+	}
+	if opts.Trace != nil {
+		status := optimize.MaxIterations
+		if censored {
+			status = optimize.Converged
+		}
+		opts.Trace.RestartEnd(0, optimize.Result{F: probeAcc, Iterations: rounds, Status: status}, nil)
 	}
 	return &Model{P: proj, Rounds: rounds, ProbeAccuracy: probeAcc}, nil
 }

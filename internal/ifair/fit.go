@@ -1,6 +1,7 @@
 package ifair
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -12,11 +13,40 @@ import (
 // ErrNoData is returned when Fit is called on an empty matrix.
 var ErrNoData = errors.New("ifair: no training data")
 
+// Trace observes a training run; see optimize.Trace. It is re-exported
+// here so callers configuring Options.Trace need not import
+// internal/optimize.
+type Trace = optimize.Trace
+
+// Iteration is one per-iteration progress event; see optimize.Iteration.
+type Iteration = optimize.Iteration
+
 // Fit learns an iFair representation of x (M×N, already encoded and
 // standardised) by minimising Def. 9 with L-BFGS. It runs opts.Restarts
 // independent random initialisations and returns the model with the lowest
 // final objective, mirroring the paper's best-of-3 protocol.
+//
+// Fit is a convenience wrapper around FitContext with a background
+// context: it cannot be cancelled. Use FitContext to bound training with a
+// deadline or run restarts concurrently.
 func Fit(x *mat.Dense, opts Options) (*Model, error) {
+	return FitContext(context.Background(), x, opts)
+}
+
+// FitContext is Fit with cancellation, deadlines, observability and
+// parallel restarts. The opts.Restarts random restarts run concurrently on
+// a pool of opts.RestartWorkers goroutines (≤ 1 runs them serially), each
+// initialised from a seed derived only from (opts.Seed, restart index), so
+// the returned model is bit-identical for every worker count. Ties on the
+// final loss break to the lowest restart index.
+//
+// Cancelling ctx stops every in-flight optimizer within one iteration and
+// returns ctx.Err(). A restart whose optimizer fails is skipped: the best
+// converged restart still wins, and an error is returned only when every
+// restart fails (the per-restart errors joined).
+//
+// opts.Trace receives restart start/end and per-iteration events.
+func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error) {
 	m, n := x.Dims()
 	if m == 0 || n == 0 {
 		return nil, ErrNoData
@@ -24,31 +54,59 @@ func Fit(x *mat.Dense, opts Options) (*Model, error) {
 	if err := opts.fill(n); err != nil {
 		return nil, err
 	}
-
-	rng := rand.New(rand.NewSource(opts.Seed))
-	obj := newObjective(x, opts, rng)
-
-	var best *Model
-	for r := 0; r < opts.Restarts; r++ {
-		theta := initialTheta(x, opts, rng)
-		settings := optimize.Settings{MaxIterations: opts.MaxIterations, GradTol: 1e-5}
-		var res optimize.Result
-		var err error
-		if opts.UseGradientDescent {
-			res, err = optimize.GradientDescent(obj, theta, settings)
-		} else {
-			res, err = optimize.LBFGS(obj, theta, settings)
-		}
-		if err != nil {
-			return nil, err
-		}
-		model := modelFromTheta(res.X, n, opts)
-		model.Loss = res.F
-		if best == nil || model.Loss < best.Loss {
-			best = model
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return best, nil
+
+	// The fairness pair set is part of the problem, not of a restart:
+	// build it once from the base seed and share it read-only.
+	base := newObjective(x, opts, rand.New(rand.NewSource(opts.Seed)))
+
+	models := make([]*Model, opts.Restarts)
+	trace := opts.Trace
+	best, err := optimize.Restarts(ctx, opts.Restarts, opts.RestartWorkers,
+		func(ctx context.Context, r int) (float64, error) {
+			if trace != nil {
+				trace.RestartStart(r)
+			}
+			rng := rand.New(rand.NewSource(optimize.RestartSeed(opts.Seed, r)))
+			theta := initialTheta(x, opts, rng)
+			obj := base
+			if opts.RestartWorkers > 1 {
+				obj = base.clone() // private scratch per concurrent restart
+			}
+			settings := optimize.Settings{
+				MaxIterations: opts.MaxIterations,
+				GradTol:       1e-5,
+				Callback:      optimize.ContextCallback(ctx, trace, r),
+			}
+			var res optimize.Result
+			var err error
+			if opts.UseGradientDescent {
+				res, err = optimize.GradientDescent(obj, theta, settings)
+			} else {
+				res, err = optimize.LBFGS(obj, theta, settings)
+			}
+			if trace != nil {
+				trace.RestartEnd(r, res, err)
+			}
+			if err != nil {
+				return math.NaN(), err
+			}
+			if res.Status == optimize.Stopped {
+				// The optimizer was cut short by cancellation; its point is
+				// not a finished restart.
+				return math.NaN(), context.Cause(ctx)
+			}
+			model := modelFromTheta(res.X, n, opts)
+			model.Loss = res.F
+			models[r] = model
+			return res.F, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return models[best], nil
 }
 
 // initialTheta draws a packed parameter vector: first the α

@@ -97,6 +97,46 @@ func newObjective(x *mat.Dense, opts Options, rng *rand.Rand) *objective {
 	return o
 }
 
+// clone returns an objective sharing o's immutable problem data — the
+// training matrix, the fairness pair list and the target distances — with
+// private scratch buffers, so clones can be evaluated concurrently (one
+// per restart under FitContext).
+func (o *objective) clone() *objective {
+	c := &objective{
+		x:       o.x,
+		pairs:   o.pairs,
+		target:  o.target,
+		opts:    o.opts,
+		m:       o.m,
+		n:       o.n,
+		alpha:   make([]float64, o.n),
+		u:       mat.NewDense(o.m, o.opts.K),
+		raw:     mat.NewDense(o.m, o.opts.K),
+		gval:    mat.NewDense(o.m, o.opts.K),
+		xt:      mat.NewDense(o.m, o.n),
+		g:       mat.NewDense(o.m, o.n),
+		workers: o.workers,
+	}
+	c.q = make([][]float64, c.workers)
+	c.lossPart = make([]float64, c.workers)
+	c.gradVPart = make([][]float64, c.workers)
+	c.gradAPart = make([][]float64, c.workers)
+	for w := 0; w < c.workers; w++ {
+		c.q[w] = make([]float64, c.opts.K)
+		if w > 0 {
+			c.gradVPart[w] = make([]float64, c.opts.K*c.n)
+			c.gradAPart[w] = make([]float64, c.n)
+		}
+	}
+	if c.workers > 1 && c.opts.Mu > 0 {
+		c.gPart = make([]*mat.Dense, c.workers)
+		for w := 1; w < c.workers; w++ {
+			c.gPart[w] = mat.NewDense(c.m, c.n)
+		}
+	}
+	return c
+}
+
 // buildPairs enumerates all pairs or samples PairSamples partners per
 // record, depending on the fairness mode.
 func buildPairs(m int, opts Options, rng *rand.Rand) []pair {

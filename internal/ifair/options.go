@@ -160,6 +160,15 @@ type Options struct {
 	// Restarts is the number of random restarts; the best final loss wins.
 	// The paper reports the best of 3 runs. Default 1.
 	Restarts int
+	// RestartWorkers bounds how many restarts train concurrently under
+	// FitContext. Values ≤ 1 run restarts serially. Each restart draws its
+	// initialisation from a seed derived only from (Seed, restart index),
+	// so the winning model is bit-identical for every worker count.
+	RestartWorkers int
+	// Trace, when non-nil, observes training: restart start/end events and
+	// one event per optimizer iteration. With RestartWorkers > 1 it is
+	// called from multiple goroutines and must be safe for concurrent use.
+	Trace Trace
 	// MaxIterations bounds L-BFGS iterations per restart. Default 150.
 	MaxIterations int
 	// UseGradientDescent switches the optimiser from L-BFGS to plain

@@ -16,6 +16,7 @@
 package lfr
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -37,6 +38,13 @@ type Options struct {
 	MaxIterations int
 	// Seed makes training deterministic.
 	Seed int64
+	// RestartWorkers bounds how many restarts train concurrently under
+	// FitContext; ≤ 1 runs them serially. The winner is bit-identical for
+	// every worker count.
+	RestartWorkers int
+	// Trace, when non-nil, observes restart and iteration events. With
+	// RestartWorkers > 1 it must be safe for concurrent use.
+	Trace optimize.Trace
 }
 
 func (o *Options) fill() error {
@@ -70,7 +78,20 @@ var ErrNoData = errors.New("lfr: no training data")
 
 // Fit trains LFR on records x, binary labels y and protected-group
 // membership flags.
+//
+// Fit is a convenience wrapper around FitContext with a background
+// context: it cannot be cancelled.
 func Fit(x *mat.Dense, y, protected []bool, opts Options) (*Model, error) {
+	return FitContext(context.Background(), x, y, protected, opts)
+}
+
+// FitContext is Fit with cancellation, observability and parallel
+// restarts, sharing the engine semantics of ifair.FitContext: restarts run
+// on opts.RestartWorkers goroutines with per-restart derived seeds, ties
+// break to the lowest restart index, a cancelled ctx stops every optimizer
+// within one iteration and returns ctx.Err(), and per-restart optimizer
+// errors only surface (joined) when every restart fails.
+func FitContext(ctx context.Context, x *mat.Dense, y, protected []bool, opts Options) (*Model, error) {
 	m, n := x.Dims()
 	if m == 0 || n == 0 {
 		return nil, ErrNoData
@@ -81,23 +102,45 @@ func Fit(x *mat.Dense, y, protected []bool, opts Options) (*Model, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	obj := newObjective(x, y, protected, opts)
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	var best *Model
-	for r := 0; r < opts.Restarts; r++ {
-		theta := obj.initialTheta(rng)
-		res, err := optimize.LBFGS(obj, theta, optimize.Settings{MaxIterations: opts.MaxIterations, GradTol: 1e-5})
-		if err != nil {
-			return nil, err
-		}
-		model := obj.modelFromTheta(res.X)
-		model.Loss = res.F
-		if best == nil || model.Loss < best.Loss {
-			best = model
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return best, nil
+
+	models := make([]*Model, opts.Restarts)
+	trace := opts.Trace
+	best, err := optimize.Restarts(ctx, opts.Restarts, opts.RestartWorkers,
+		func(ctx context.Context, r int) (float64, error) {
+			if trace != nil {
+				trace.RestartStart(r)
+			}
+			// The objective carries mutable scratch, so each restart gets
+			// its own instance; the inputs are shared read-only.
+			obj := newObjective(x, y, protected, opts)
+			rng := rand.New(rand.NewSource(optimize.RestartSeed(opts.Seed, r)))
+			theta := obj.initialTheta(rng)
+			res, err := optimize.LBFGS(obj, theta, optimize.Settings{
+				MaxIterations: opts.MaxIterations,
+				GradTol:       1e-5,
+				Callback:      optimize.ContextCallback(ctx, trace, r),
+			})
+			if trace != nil {
+				trace.RestartEnd(r, res, err)
+			}
+			if err != nil {
+				return math.NaN(), err
+			}
+			if res.Status == optimize.Stopped {
+				return math.NaN(), context.Cause(ctx)
+			}
+			model := obj.modelFromTheta(res.X)
+			model.Loss = res.F
+			models[r] = model
+			return res.F, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return models[best], nil
 }
 
 // Probabilities returns the membership distribution of one record.

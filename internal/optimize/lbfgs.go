@@ -38,6 +38,10 @@ const (
 	// SmallImprovement means successive function values stopped changing
 	// beyond the relative tolerance.
 	SmallImprovement
+	// Stopped means Settings.Callback asked the run to stop early (for
+	// example because a context was cancelled); the best point so far is
+	// returned.
+	Stopped
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +55,8 @@ func (s Status) String() string {
 		return "line search failed"
 	case SmallImprovement:
 		return "small improvement"
+	case Stopped:
+		return "stopped by callback"
 	default:
 		return "unknown"
 	}
@@ -77,6 +83,12 @@ type Settings struct {
 	FuncTol float64
 	// Memory is the number of (s, y) correction pairs kept. Default 10.
 	Memory int
+	// Callback, when non-nil, is invoked after every accepted outer
+	// iteration with that iteration's progress. Returning true stops the
+	// run at the current point with Status Stopped. Both LBFGS and
+	// GradientDescent honour it, so cancellation and tracing work
+	// identically across optimizers.
+	Callback func(Iteration) (stop bool)
 }
 
 func (s *Settings) fill() {
@@ -198,6 +210,14 @@ func LBFGS(obj Objective, x0 []float64, settings Settings) (Result, error) {
 		copy(grad, gNew)
 		f = fNew
 
+		if settings.Callback != nil {
+			stop := settings.Callback(Iteration{
+				Iter: iter, F: f, GradNorm: infNorm(grad), Step: step, Evals: evals,
+			})
+			if stop {
+				return result(Stopped, iter+1), nil
+			}
+		}
 		if improvement <= settings.FuncTol*(1+math.Abs(f)) {
 			return result(SmallImprovement, iter+1), nil
 		}
@@ -243,7 +263,16 @@ func GradientDescent(obj Objective, x0 []float64, settings Settings) (Result, er
 				copy(grad, gNew)
 				f = fNew
 				accepted = true
+				used := step
 				step *= 1.5
+				if settings.Callback != nil {
+					stop := settings.Callback(Iteration{
+						Iter: iter, F: f, GradNorm: infNorm(grad), Step: used, Evals: evals,
+					})
+					if stop {
+						return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: iter + 1, Evals: evals, Status: Stopped}, nil
+					}
+				}
 				if improvement <= settings.FuncTol*(1+math.Abs(f)) {
 					return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: iter + 1, Evals: evals, Status: SmallImprovement}, nil
 				}

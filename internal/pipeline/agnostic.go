@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -29,15 +30,23 @@ type AgnosticRow struct {
 // vs Gaussian naive Bayes for classification, pointwise linear regression
 // vs a pairwise (RankNet-style) ranker for ranking. Full Data rows are
 // included as the reference.
+//
+// AgnosticStudy is a convenience wrapper around AgnosticStudyContext with
+// a background context.
 func AgnosticStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error) {
-	cfg.fill()
-	if ds.Task == dataset.Classification {
-		return agnosticClassification(ds, cfg)
-	}
-	return agnosticRanking(ds, cfg)
+	return AgnosticStudyContext(context.Background(), ds, cfg)
 }
 
-func agnosticClassification(ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error) {
+// AgnosticStudyContext is AgnosticStudy with cancellation.
+func AgnosticStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error) {
+	cfg.fill()
+	if ds.Task == dataset.Classification {
+		return agnosticClassification(ctx, ds, cfg)
+	}
+	return agnosticRanking(ctx, ds, cfg)
+}
+
+func agnosticClassification(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error) {
 	split, err := dataset.ThreeWaySplit(ds.Rows(), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -48,7 +57,7 @@ func agnosticClassification(ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow
 
 	var rows []AgnosticRow
 	for _, rep := range []Representation{FullData{}, ifairBRep(cfg)} {
-		if err := rep.Fit(train); err != nil {
+		if err := rep.Fit(ctx, train); err != nil {
 			return nil, err
 		}
 		trainX := rep.Transform(train.X)
@@ -81,7 +90,7 @@ func agnosticClassification(ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow
 	return rows, nil
 }
 
-func agnosticRanking(ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error) {
+func agnosticRanking(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error) {
 	qsplit, err := dataset.SplitQueries(len(ds.Queries), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -96,7 +105,7 @@ func agnosticRanking(ds *dataset.Dataset, cfg StudyConfig) ([]AgnosticRow, error
 
 	var rows []AgnosticRow
 	for _, rep := range []Representation{FullData{}, ifairBRep(cfg)} {
-		if err := rep.Fit(train); err != nil {
+		if err := rep.Fit(ctx, train); err != nil {
 			return nil, err
 		}
 		trainX := rep.Transform(train.X)
@@ -190,6 +199,7 @@ func ifairBRep(cfg StudyConfig) Representation {
 		Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
 		PairSamples: 64,
 		Restarts:    cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+		Trace: cfg.Trace,
 	}}
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/adversarial"
@@ -25,7 +26,15 @@ type AuditRow struct {
 // on the test split; the identity (Full Data) row is included as the
 // reference, whose only violations come from masking the protected
 // columns.
+//
+// AuditStudy is a convenience wrapper around AuditStudyContext with a
+// background context.
 func AuditStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AuditRow, error) {
+	return AuditStudyContext(context.Background(), ds, cfg)
+}
+
+// AuditStudyContext is AuditStudy with cancellation.
+func AuditStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]AuditRow, error) {
 	cfg.fill()
 	split, err := dataset.ThreeWaySplit(ds.Rows(), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
@@ -39,7 +48,7 @@ func AuditStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AuditRow, error) {
 
 	var rows []AuditRow
 	probe := func(rep Representation) error {
-		if err := rep.Fit(train); err != nil {
+		if err := rep.Fit(ctx, train); err != nil {
 			return err
 		}
 		transformed := rep.Transform(test.X)
@@ -59,13 +68,15 @@ func AuditStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AuditRow, error) {
 			K: cfg.K[0], Lambda: 1, Mu: 1,
 			Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
 			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+			Trace: cfg.Trace,
 		}},
-		&CensoredRep{Opts: adversarial.Options{Seed: cfg.Seed}},
+		&CensoredRep{Opts: adversarial.Options{Seed: cfg.Seed, Trace: cfg.Trace}},
 	}
 	if ds.Task == dataset.Classification {
 		reps = append(reps, &LFRRep{Opts: lfr.Options{
 			K: cfg.K[0], Az: 1, Ax: 1, Ay: 1,
 			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+			Trace: cfg.Trace,
 		}})
 	}
 	for _, rep := range reps {

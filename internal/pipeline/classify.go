@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -41,15 +42,24 @@ type neighbourCache struct {
 // EvalClassification fits rep on the training portion of ds, trains a
 // logistic-regression classifier on the transformed training records and
 // evaluates every metric on the transformed test (and validation) records.
+//
+// EvalClassification is a convenience wrapper around
+// EvalClassificationContext with a background context.
 func EvalClassification(ds *dataset.Dataset, split dataset.Split, rep Representation, l2 float64) (ClassificationResult, error) {
-	return evalClassificationCached(ds, split, rep, l2, nil)
+	return evalClassificationCached(context.Background(), ds, split, rep, l2, nil)
 }
 
-func evalClassificationCached(ds *dataset.Dataset, split dataset.Split, rep Representation, l2 float64, cache *neighbourCache) (ClassificationResult, error) {
+// EvalClassificationContext is EvalClassification with cancellation: ctx
+// propagates into the representation's fit.
+func EvalClassificationContext(ctx context.Context, ds *dataset.Dataset, split dataset.Split, rep Representation, l2 float64) (ClassificationResult, error) {
+	return evalClassificationCached(ctx, ds, split, rep, l2, nil)
+}
+
+func evalClassificationCached(ctx context.Context, ds *dataset.Dataset, split dataset.Split, rep Representation, l2 float64, cache *neighbourCache) (ClassificationResult, error) {
 	res := ClassificationResult{Method: rep.Name()}
 
 	train := ds.Subset(split.Train)
-	if err := rep.Fit(train); err != nil {
+	if err := rep.Fit(ctx, train); err != nil {
 		return res, fmt.Errorf("fit %s: %w", rep.Name(), err)
 	}
 

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/optimize"
+)
+
+func TestTradeoffStudyContextCancelled(t *testing.T) {
+	ds := dataset.Compas(dataset.ClassificationConfig{Records: 120, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TradeoffStudyContext(ctx, ds, quickCfg()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential: err = %v, want context.Canceled", err)
+	}
+	cfg := quickCfg()
+	cfg.Parallel = 4
+	if _, err := TradeoffStudyContext(ctx, ds, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvalClassificationContextCancelled(t *testing.T) {
+	ds := dataset.Compas(dataset.ClassificationConfig{Records: 120, Seed: 1})
+	split, err := dataset.ThreeWaySplit(ds.Rows(), 1.0/3, 1.0/3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := ifairBRep(quickCfg())
+	if _, err := EvalClassificationContext(ctx, ds, split, rep, 0.01); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFig2StudyContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig2StudyContext(ctx, quickCfg()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStudyTraceObservesTraining(t *testing.T) {
+	ds := dataset.Compas(dataset.ClassificationConfig{Records: 120, Seed: 1})
+	split, err := dataset.ThreeWaySplit(ds.Rows(), 1.0/3, 1.0/3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingTrace{}
+	cfg := quickCfg()
+	cfg.Trace = tr
+	rep := ifairBRep(cfg)
+	if _, err := EvalClassificationContext(context.Background(), ds, split, rep, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if tr.starts == 0 || tr.iters == 0 || tr.ends == 0 {
+		t.Fatalf("trace saw starts=%d iters=%d ends=%d; expected all non-zero", tr.starts, tr.iters, tr.ends)
+	}
+}
+
+type countingTrace struct{ starts, iters, ends int }
+
+func (c *countingTrace) RestartStart(int) { c.starts++ }
+
+func (c *countingTrace) Iteration(int, optimize.Iteration) { c.iters++ }
+
+func (c *countingTrace) RestartEnd(int, optimize.Result, error) { c.ends++ }

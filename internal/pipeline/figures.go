@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversarial"
@@ -29,7 +30,16 @@ type Fig2Cell struct {
 // individual fairness of the classifier, and the four panel metrics are
 // reported. As in the paper's illustration, the model is fit and evaluated
 // on the full 100-point sample.
+//
+// Fig2Study is a convenience wrapper around Fig2StudyContext with a
+// background context.
 func Fig2Study(cfg StudyConfig) ([]Fig2Cell, error) {
+	return Fig2StudyContext(context.Background(), cfg)
+}
+
+// Fig2StudyContext is Fig2Study with cancellation: the grid search aborts
+// with ctx.Err() once ctx is cancelled.
+func Fig2StudyContext(ctx context.Context, cfg StudyConfig) ([]Fig2Cell, error) {
 	cfg.fill()
 	// The study is tiny (100 points, K = 4), so always search the paper's
 	// full mixture grid of Sec. IV/V-B rather than the trimmed study grid.
@@ -43,7 +53,7 @@ func Fig2Study(cfg StudyConfig) ([]Fig2Cell, error) {
 		neighbours := knn.NewIndex(ds.NonProtectedX()).AllNeighbors(10)
 
 		evalRep := func(rep Representation) (Fig2Cell, error) {
-			if err := rep.Fit(ds.Subset(all)); err != nil {
+			if err := rep.Fit(ctx, ds.Subset(all)); err != nil {
 				return Fig2Cell{}, err
 			}
 			clf, err := linmodel.FitLogistic(rep.Transform(ds.X), ds.Label, cfg.L2)
@@ -76,10 +86,16 @@ func Fig2Study(cfg StudyConfig) ([]Fig2Cell, error) {
 				if lambda == 0 && mu == 0 {
 					continue
 				}
+				// The per-config fit error is tolerated below, so check the
+				// context explicitly or a cancellation would be swallowed.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				cell, err := evalRep(&IFairRep{Opts: ifair.Options{
 					K: 4, Lambda: lambda, Mu: mu,
 					Init: ifair.InitMaskedProtected, Fairness: ifair.PairwiseFairness,
 					Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+					Trace: cfg.Trace,
 				}})
 				if err != nil {
 					continue
@@ -98,9 +114,13 @@ func Fig2Study(cfg StudyConfig) ([]Fig2Cell, error) {
 
 		var bestLFR *Fig2Cell
 		for _, az := range grid {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cell, err := evalRep(&LFRRep{Opts: lfr.Options{
 				K: 4, Az: az, Ax: 1, Ay: 1,
 				Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+				Trace: cfg.Trace,
 			}})
 			if err != nil {
 				continue
@@ -132,7 +152,15 @@ type AdversarialCell struct {
 // adversary to recover the protected attribute from (i) masked data,
 // (ii) the LFR representation (classification datasets only) and (iii) the
 // iFair-b representation, reporting held-out accuracy.
+//
+// AdversarialStudy is a convenience wrapper around
+// AdversarialStudyContext with a background context.
 func AdversarialStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AdversarialCell, error) {
+	return AdversarialStudyContext(context.Background(), ds, cfg)
+}
+
+// AdversarialStudyContext is AdversarialStudy with cancellation.
+func AdversarialStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]AdversarialCell, error) {
 	cfg.fill()
 	split, err := dataset.ThreeWaySplit(ds.Rows(), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
@@ -143,7 +171,7 @@ func AdversarialStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AdversarialCell, 
 
 	var cells []AdversarialCell
 	probe := func(rep Representation) error {
-		if err := rep.Fit(train); err != nil {
+		if err := rep.Fit(ctx, train); err != nil {
 			return err
 		}
 		adv, err := linmodel.FitLogistic(rep.Transform(train.X), train.Protected, cfg.L2)
@@ -166,6 +194,7 @@ func AdversarialStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AdversarialCell, 
 		if err := probe(&LFRRep{Opts: lfr.Options{
 			K: cfg.K[0], Az: 1, Ax: 1, Ay: 1,
 			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+			Trace: cfg.Trace,
 		}}); err != nil {
 			return nil, err
 		}
@@ -174,12 +203,13 @@ func AdversarialStudy(ds *dataset.Dataset, cfg StudyConfig) ([]AdversarialCell, 
 		K: cfg.K[0], Lambda: 1, Mu: 1,
 		Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
 		Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
+		Trace: cfg.Trace,
 	}}); err != nil {
 		return nil, err
 	}
 	// Extension comparator: the censored-representation baseline of the
 	// paper's Related Work, which optimises obfuscation directly.
-	if err := probe(&CensoredRep{Opts: adversarial.Options{Seed: cfg.Seed}}); err != nil {
+	if err := probe(&CensoredRep{Opts: adversarial.Options{Seed: cfg.Seed, Trace: cfg.Trace}}); err != nil {
 		return nil, err
 	}
 	return cells, nil
@@ -197,7 +227,15 @@ type PostProcessPoint struct {
 // and FA*IR re-ranks each test query for a sweep of target proportions p,
 // demonstrating that group-fairness constraints can be enforced post-hoc on
 // individually fair representations.
+//
+// PostProcessStudy is a convenience wrapper around
+// PostProcessStudyContext with a background context.
 func PostProcessStudy(ds *dataset.Dataset, cfg StudyConfig, ps []float64) ([]PostProcessPoint, error) {
+	return PostProcessStudyContext(context.Background(), ds, cfg, ps)
+}
+
+// PostProcessStudyContext is PostProcessStudy with cancellation.
+func PostProcessStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig, ps []float64) ([]PostProcessPoint, error) {
 	cfg.fill()
 	qsplit, err := dataset.SplitQueries(len(ds.Queries), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
@@ -206,7 +244,7 @@ func PostProcessStudy(ds *dataset.Dataset, cfg StudyConfig, ps []float64) ([]Pos
 	rep := ifairBRep(cfg)
 	trainRows := queryRows(ds, qsplit.Train)
 	train := ds.Subset(trainRows)
-	if err := rep.Fit(train); err != nil {
+	if err := rep.Fit(ctx, train); err != nil {
 		return nil, err
 	}
 	reg, err := linmodel.FitLinear(rep.Transform(train.X), train.Score, cfg.L2)
@@ -253,7 +291,15 @@ type Table4Row struct {
 
 // Table4 reproduces the paper's Table IV: iFair-b rankings on the Xing
 // dataset under the paper's seven ranking-score weight combinations.
+//
+// Table4 is a convenience wrapper around Table4Context with a background
+// context.
 func Table4(cfg StudyConfig, weightRows []dataset.XingWeights) ([]Table4Row, error) {
+	return Table4Context(context.Background(), cfg, weightRows)
+}
+
+// Table4Context is Table4 with cancellation.
+func Table4Context(ctx context.Context, cfg StudyConfig, weightRows []dataset.XingWeights) ([]Table4Row, error) {
 	cfg.fill()
 	if len(weightRows) == 0 {
 		// The seven combinations reported in Table IV.
@@ -275,7 +321,7 @@ func Table4(cfg StudyConfig, weightRows []dataset.XingWeights) ([]Table4Row, err
 			return nil, err
 		}
 		rep := ifairBRep(cfg)
-		res, err := EvalRanking(ds, qsplit, rep, cfg.L2)
+		res, err := EvalRankingContext(ctx, ds, qsplit, rep, cfg.L2)
 		if err != nil {
 			return nil, err
 		}

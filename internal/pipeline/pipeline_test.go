@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -53,7 +54,7 @@ func TestRepresentationNames(t *testing.T) {
 func TestFullDataTransformIsIdentityCopy(t *testing.T) {
 	ds := smallCompas()
 	var rep FullData
-	if err := rep.Fit(ds); err != nil {
+	if err := rep.Fit(context.Background(), ds); err != nil {
 		t.Fatal(err)
 	}
 	out := rep.Transform(ds.X)
@@ -69,7 +70,7 @@ func TestFullDataTransformIsIdentityCopy(t *testing.T) {
 func TestMaskedDataZeroesProtected(t *testing.T) {
 	ds := smallCompas()
 	rep := &MaskedData{}
-	if err := rep.Fit(ds); err != nil {
+	if err := rep.Fit(context.Background(), ds); err != nil {
 		t.Fatal(err)
 	}
 	out := rep.Transform(ds.X)
@@ -84,7 +85,7 @@ func TestMaskedDataZeroesProtected(t *testing.T) {
 
 func TestSVDRepValidation(t *testing.T) {
 	ds := smallCompas()
-	if err := (&SVDRep{K: 0}).Fit(ds); err == nil {
+	if err := (&SVDRep{K: 0}).Fit(context.Background(), ds); err == nil {
 		t.Fatal("expected error for K=0")
 	}
 }
@@ -92,7 +93,7 @@ func TestSVDRepValidation(t *testing.T) {
 func TestSVDRepTransformShape(t *testing.T) {
 	ds := smallCompas()
 	rep := &SVDRep{K: 3, Masked: true}
-	if err := rep.Fit(ds); err != nil {
+	if err := rep.Fit(context.Background(), ds); err != nil {
 		t.Fatal(err)
 	}
 	out := rep.Transform(ds.X)
@@ -104,7 +105,7 @@ func TestSVDRepTransformShape(t *testing.T) {
 func TestLFRRepRequiresLabels(t *testing.T) {
 	ds := smallXing()
 	rep := &LFRRep{Opts: lfr.Options{K: 2, Ax: 1, Ay: 1, Az: 1}}
-	if err := rep.Fit(ds); err == nil {
+	if err := rep.Fit(context.Background(), ds); err == nil {
 		t.Fatal("LFR on a ranking dataset must fail")
 	}
 }

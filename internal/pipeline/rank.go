@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -99,7 +100,16 @@ func bounds(xs []float64) (lo, hi float64) {
 // EvalRanking fits rep on the records of the training queries, trains a
 // linear-regression scoring model on the transformed features, and
 // evaluates the ranking metrics over the validation and test queries.
+//
+// EvalRanking is a convenience wrapper around EvalRankingContext with a
+// background context.
 func EvalRanking(ds *dataset.Dataset, qsplit dataset.Split, rep Representation, l2 float64) (RankingResult, error) {
+	return EvalRankingContext(context.Background(), ds, qsplit, rep, l2)
+}
+
+// EvalRankingContext is EvalRanking with cancellation: ctx propagates into
+// the representation's fit.
+func EvalRankingContext(ctx context.Context, ds *dataset.Dataset, qsplit dataset.Split, rep Representation, l2 float64) (RankingResult, error) {
 	res := RankingResult{Method: rep.Name()}
 	if ds.Task != dataset.Ranking {
 		return res, fmt.Errorf("pipeline: dataset %q is not a ranking dataset", ds.Name)
@@ -107,7 +117,7 @@ func EvalRanking(ds *dataset.Dataset, qsplit dataset.Split, rep Representation, 
 
 	trainRows := queryRows(ds, qsplit.Train)
 	train := ds.Subset(trainRows)
-	if err := rep.Fit(train); err != nil {
+	if err := rep.Fit(ctx, train); err != nil {
 		return res, fmt.Errorf("fit %s: %w", rep.Name(), err)
 	}
 	reg, err := linmodel.FitLinear(rep.Transform(train.X), train.Score, l2)
@@ -152,7 +162,7 @@ func EvalFAIR(ds *dataset.Dataset, qsplit dataset.Split, p, alpha, l2 float64) (
 	masked := &MaskedData{}
 	trainRows := queryRows(ds, qsplit.Train)
 	train := ds.Subset(trainRows)
-	if err := masked.Fit(train); err != nil {
+	if err := masked.Fit(context.Background(), train); err != nil {
 		return res, err
 	}
 	reg, err := linmodel.FitLinear(masked.Transform(train.X), train.Score, l2)
@@ -208,7 +218,16 @@ func queryRows(ds *dataset.Dataset, queryIdx []int) []int {
 // Table5 reproduces the paper's Table V on one ranking dataset: Full,
 // Masked, SVD, SVD-masked, FA*IR at the given p values, and iFair-b tuned
 // by the Optimal criterion (best harmonic mean of validation MAP and yNN).
+//
+// Table5 is a convenience wrapper around Table5Context with a background
+// context.
 func Table5(ds *dataset.Dataset, cfg StudyConfig, fairPs []float64) ([]RankingResult, error) {
+	return Table5Context(context.Background(), ds, cfg, fairPs)
+}
+
+// Table5Context is Table5 with cancellation: the grid search aborts with
+// ctx.Err() once ctx is cancelled.
+func Table5Context(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig, fairPs []float64) ([]RankingResult, error) {
 	cfg.fill()
 	qsplit, err := dataset.SplitQueries(len(ds.Queries), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
@@ -217,7 +236,7 @@ func Table5(ds *dataset.Dataset, cfg StudyConfig, fairPs []float64) ([]RankingRe
 
 	var results []RankingResult
 	run := func(rep Representation, params string) RankingResult {
-		r, err := EvalRanking(ds, qsplit, rep, cfg.L2)
+		r, err := EvalRankingContext(ctx, ds, qsplit, rep, cfg.L2)
 		r.Params = params
 		if err != nil {
 			r.FitError = err.Error()
@@ -233,7 +252,7 @@ func Table5(ds *dataset.Dataset, cfg StudyConfig, fairPs []float64) ([]RankingRe
 	for _, masked := range []bool{false, true} {
 		var best *RankingResult
 		for _, k := range cfg.K {
-			r, err := EvalRanking(ds, qsplit, &SVDRep{K: k, Masked: masked}, cfg.L2)
+			r, err := EvalRankingContext(ctx, ds, qsplit, &SVDRep{K: k, Masked: masked}, cfg.L2)
 			if err != nil {
 				continue
 			}
@@ -256,10 +275,15 @@ func Table5(ds *dataset.Dataset, cfg StudyConfig, fairPs []float64) ([]RankingRe
 		results = append(results, r)
 	}
 
-	// iFair-b: grid search tuned by the Optimal criterion.
+	// iFair-b: grid search tuned by the Optimal criterion. Per-config fit
+	// errors are tolerated, so check the context each round or a
+	// cancellation would be swallowed as a skipped configuration.
 	var best *RankingResult
 	for _, opts := range cfg.iFairConfigs(ifair.InitMaskedProtected) {
-		r, err := EvalRanking(ds, qsplit, &IFairRep{Opts: opts}, cfg.L2)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := EvalRankingContext(ctx, ds, qsplit, &IFairRep{Opts: opts}, cfg.L2)
 		if err != nil {
 			continue
 		}
@@ -271,6 +295,9 @@ func Table5(ds *dataset.Dataset, cfg StudyConfig, fairPs []float64) ([]RankingRe
 	}
 	if best != nil {
 		results = append(results, *best)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,7 +26,16 @@ type RepeatSummary struct {
 
 // RepeatStudy evaluates Full Data and iFair-b on freshly simulated data
 // for every seed and reports mean ± std of the headline metrics.
+//
+// RepeatStudy is a convenience wrapper around RepeatStudyContext with a
+// background context.
 func RepeatStudy(gen func(seed int64) *dataset.Dataset, cfg StudyConfig, seeds []int64) ([]RepeatSummary, error) {
+	return RepeatStudyContext(context.Background(), gen, cfg, seeds)
+}
+
+// RepeatStudyContext is RepeatStudy with cancellation: the seed loop
+// aborts with ctx.Err() once ctx is cancelled.
+func RepeatStudyContext(ctx context.Context, gen func(seed int64) *dataset.Dataset, cfg StudyConfig, seeds []int64) ([]RepeatSummary, error) {
 	cfg.fill()
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("pipeline: RepeatStudy needs at least one seed")
@@ -36,6 +46,11 @@ func RepeatStudy(gen func(seed int64) *dataset.Dataset, cfg StudyConfig, seeds [
 	reasons := map[string]string{}
 
 	for _, seed := range seeds {
+		// Per-run failures are tolerated, so check the context explicitly
+		// or a cancellation would be recorded as a failed run.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		runCfg := cfg
 		runCfg.Seed = seed
 		ds := gen(seed)
@@ -44,7 +59,7 @@ func RepeatStudy(gen func(seed int64) *dataset.Dataset, cfg StudyConfig, seeds [
 			return nil, err
 		}
 		for _, rep := range []Representation{FullData{}, ifairBRep(runCfg)} {
-			res, err := EvalClassification(ds, split, rep, runCfg.L2)
+			res, err := EvalClassificationContext(ctx, ds, split, rep, runCfg.L2)
 			if err != nil {
 				failures[rep.Name()]++
 				reasons[rep.Name()] = err.Error()

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversarial"
@@ -18,13 +19,14 @@ import (
 )
 
 // Representation is a data-representation method under comparison. Fit
-// learns whatever state the method needs from the training portion;
+// learns whatever state the method needs from the training portion,
+// honouring ctx for cancellation so whole study grids are abortable;
 // Transform then maps any feature matrix with the same schema into the
 // representation space (always of the original dimensionality N, so that
 // downstream models and yNN remain comparable).
 type Representation interface {
 	Name() string
-	Fit(train *dataset.Dataset) error
+	Fit(ctx context.Context, train *dataset.Dataset) error
 	Transform(x *mat.Dense) *mat.Dense
 }
 
@@ -36,7 +38,7 @@ type FullData struct{}
 func (FullData) Name() string { return "Full Data" }
 
 // Fit implements Representation (no state).
-func (FullData) Fit(*dataset.Dataset) error { return nil }
+func (FullData) Fit(context.Context, *dataset.Dataset) error { return nil }
 
 // Transform implements Representation.
 func (FullData) Transform(x *mat.Dense) *mat.Dense { return x.Clone() }
@@ -51,7 +53,7 @@ type MaskedData struct {
 func (*MaskedData) Name() string { return "Masked Data" }
 
 // Fit implements Representation.
-func (m *MaskedData) Fit(train *dataset.Dataset) error {
+func (m *MaskedData) Fit(_ context.Context, train *dataset.Dataset) error {
 	m.protectedCols = append([]int(nil), train.ProtectedCols...)
 	return nil
 }
@@ -87,14 +89,17 @@ func (s *SVDRep) Name() string {
 }
 
 // Fit implements Representation.
-func (s *SVDRep) Fit(train *dataset.Dataset) error {
+func (s *SVDRep) Fit(ctx context.Context, train *dataset.Dataset) error {
 	if s.K <= 0 {
 		return fmt.Errorf("pipeline: SVD rank %d must be positive", s.K)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	x := train.X
 	if s.Masked {
 		s.mask = &MaskedData{}
-		if err := s.mask.Fit(train); err != nil {
+		if err := s.mask.Fit(ctx, train); err != nil {
 			return err
 		}
 		x = s.mask.Transform(x)
@@ -123,11 +128,11 @@ func (*LFRRep) Name() string { return "LFR" }
 
 // Fit implements Representation. LFR requires labels and a protected
 // group, so it only fits classification datasets.
-func (l *LFRRep) Fit(train *dataset.Dataset) error {
+func (l *LFRRep) Fit(ctx context.Context, train *dataset.Dataset) error {
 	if train.Label == nil {
 		return fmt.Errorf("pipeline: LFR requires labels; dataset %q has none", train.Name)
 	}
-	model, err := lfr.Fit(train.X, train.Label, train.Protected, l.Opts)
+	model, err := lfr.FitContext(ctx, train.X, train.Label, train.Protected, l.Opts)
 	if err != nil {
 		return err
 	}
@@ -155,10 +160,10 @@ type IFairRep struct {
 func (f *IFairRep) Name() string { return f.Opts.Init.String() }
 
 // Fit implements Representation.
-func (f *IFairRep) Fit(train *dataset.Dataset) error {
+func (f *IFairRep) Fit(ctx context.Context, train *dataset.Dataset) error {
 	opts := f.Opts
 	opts.Protected = append([]int(nil), train.ProtectedCols...)
-	model, err := ifair.Fit(train.X, opts)
+	model, err := ifair.FitContext(ctx, train.X, opts)
 	if err != nil {
 		return err
 	}
@@ -186,8 +191,8 @@ type CensoredRep struct {
 func (*CensoredRep) Name() string { return "Censored" }
 
 // Fit implements Representation.
-func (c *CensoredRep) Fit(train *dataset.Dataset) error {
-	model, err := adversarial.Fit(train.X, train.Protected, c.Opts)
+func (c *CensoredRep) Fit(ctx context.Context, train *dataset.Dataset) error {
+	model, err := adversarial.FitContext(ctx, train.X, train.Protected, c.Opts)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ifair"
 	"repro/internal/lfr"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 )
 
 // StudyConfig controls the hyper-parameter search of the classification
@@ -34,6 +36,11 @@ type StudyConfig struct {
 	// deterministic regardless of the value: every configuration is
 	// seeded independently and results are collected in grid order.
 	Parallel int
+	// Trace, when non-nil, observes every training run launched by the
+	// studies (restart and iteration events). Grid searches fit many
+	// configurations — with Parallel > 1 concurrently — so implementations
+	// must be safe for concurrent use.
+	Trace optimize.Trace
 }
 
 // PaperStudyConfig mirrors Sec. V-B: mixture coefficients from
@@ -92,6 +99,7 @@ func (c *StudyConfig) iFairConfigs(variant ifair.InitStrategy) []ifair.Options {
 					Restarts:      c.Restarts,
 					MaxIterations: c.MaxIterations,
 					Seed:          c.Seed,
+					Trace:         c.Trace,
 				})
 			}
 		}
@@ -119,6 +127,7 @@ func (c *StudyConfig) lfrConfigs() []lfr.Options {
 						Restarts:      c.Restarts,
 						MaxIterations: c.MaxIterations,
 						Seed:          c.Seed,
+						Trace:         c.Trace,
 					})
 				}
 			}
@@ -132,7 +141,17 @@ func (c *StudyConfig) lfrConfigs() []lfr.Options {
 // The caller can extract Pareto fronts with ParetoByMethod. Configurations
 // are evaluated concurrently when cfg.Parallel > 1; the result order is
 // the grid order either way.
+//
+// TradeoffStudy is a convenience wrapper around TradeoffStudyContext with
+// a background context.
 func TradeoffStudy(ds *dataset.Dataset, cfg StudyConfig) ([]ClassificationResult, error) {
+	return TradeoffStudyContext(context.Background(), ds, cfg)
+}
+
+// TradeoffStudyContext is TradeoffStudy with cancellation: ctx propagates
+// into every configuration's fit, configurations not yet started when ctx
+// is cancelled are skipped, and the study returns ctx.Err().
+func TradeoffStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]ClassificationResult, error) {
 	cfg.fill()
 	split, err := dataset.ThreeWaySplit(ds.Rows(), cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
 	if err != nil {
@@ -169,7 +188,7 @@ func TradeoffStudy(ds *dataset.Dataset, cfg StudyConfig) ([]ClassificationResult
 
 	results := make([]ClassificationResult, len(jobs))
 	runJob := func(i int) {
-		r, err := evalClassificationCached(ds, split, jobs[i].rep, cfg.L2, cache)
+		r, err := evalClassificationCached(ctx, ds, split, jobs[i].rep, cfg.L2, cache)
 		r.Params = jobs[i].params
 		if err != nil {
 			r.FitError = err.Error()
@@ -178,13 +197,22 @@ func TradeoffStudy(ds *dataset.Dataset, cfg StudyConfig) ([]ClassificationResult
 	}
 	if cfg.Parallel <= 1 {
 		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			runJob(i)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		return results, nil
 	}
 	sem := make(chan struct{}, cfg.Parallel)
 	var wg sync.WaitGroup
 	for i := range jobs {
+		if ctx.Err() != nil {
+			break // don't launch configurations the caller no longer wants
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
@@ -194,6 +222,9 @@ func TradeoffStudy(ds *dataset.Dataset, cfg StudyConfig) ([]ClassificationResult
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
@@ -267,8 +298,16 @@ type Table3Row struct {
 
 // Table3 reproduces the paper's Table III on one dataset: the Full Data
 // baseline plus LFR, iFair-a and iFair-b under the three tuning criteria.
+//
+// Table3 is a convenience wrapper around Table3Context with a background
+// context.
 func Table3(ds *dataset.Dataset, cfg StudyConfig) ([]Table3Row, error) {
-	results, err := TradeoffStudy(ds, cfg)
+	return Table3Context(context.Background(), ds, cfg)
+}
+
+// Table3Context is Table3 with cancellation.
+func Table3Context(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig) ([]Table3Row, error) {
+	results, err := TradeoffStudyContext(ctx, ds, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -4,11 +4,12 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test race cover bench bench-fit experiments examples serve fmt vet clean
+.PHONY: all build test test-workers race fuzz cover bench bench-fit experiments examples serve fmt vet clean
 
-# vet and race run on every default invocation so the concurrent
-# registry/batcher code in internal/server is race-checked routinely.
-all: build vet test race
+# vet, race and the widened worker sweep run on every default invocation
+# so the concurrent registry/batcher code in internal/server and the
+# chunked-parallel objective paths are checked routinely.
+all: build vet test race test-workers
 
 build:
 	$(GO) build ./...
@@ -16,8 +17,20 @@ build:
 test:
 	$(GO) test ./...
 
+# Widened worker-count sweep for the bit-identity property tests: every
+# worker count in [1, 17] plus oversubscribed values, under the race
+# detector.
+test-workers:
+	IFAIR_TEST_WORKER_SWEEP=1 $(GO) test -race ./internal/ifair/ ./internal/par/
+
 race:
 	$(GO) test -race ./...
+
+# Fuzz the internal/par chunk planner: cover/disjointness/accounting of
+# the partition under hostile (total, workers) inputs.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzChunkCover -fuzztime=$(FUZZTIME) ./internal/par/
 
 cover:
 	$(GO) test -cover ./...

@@ -76,6 +76,7 @@ func main() {
 		csvOut  = flag.String("csv", "", "directory to write per-experiment CSV artefacts into")
 		plot    = flag.Bool("plot", false, "render ASCII charts for fig3 and fig4")
 		trace   = flag.Bool("trace", false, "print structured TRAIN lines for every optimizer restart to stderr")
+		workers = flag.Int("workers", 1, "objective-evaluation goroutines per fit (results are bit-identical for any value)")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -86,8 +87,9 @@ func main() {
 		cfg = pipeline.PaperStudyConfig(*seed)
 	}
 	cfg.Parallel = runtime.NumCPU()
+	cfg.Workers = *workers
 	if *trace {
-		cfg.Trace = &trainTrace{w: os.Stderr}
+		cfg.Trace = &trainTrace{w: os.Stderr, workers: max(*workers, 1)}
 	}
 
 	// SIGINT/SIGTERM abort the current study; every fit in flight stops
@@ -135,14 +137,15 @@ func main() {
 // trainTrace emits one structured line per optimizer event, suitable for
 // grep/awk. Restarts train concurrently, so writes are mutex-guarded.
 type trainTrace struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	workers int // effective per-fit objective worker count
 }
 
 func (t *trainTrace) RestartStart(r int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "TRAIN event=restart-start restart=%d\n", r)
+	fmt.Fprintf(t.w, "TRAIN event=restart-start restart=%d workers=%d\n", r, t.workers)
 }
 
 func (t *trainTrace) Iteration(r int, it optimize.Iteration) {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/optimize"
+	"repro/internal/par"
 )
 
 // Options configures Fit.
@@ -42,6 +43,11 @@ type Options struct {
 	// Seed is kept for API symmetry with the other learners (the
 	// procedure itself is deterministic).
 	Seed int64
+	// Workers is the number of goroutines applying each round's
+	// null-space projection (the X·(I−uuᵀ) and P·(I−uuᵀ) products).
+	// Values ≤ 1 run sequentially. Output rows are chunk-exclusive, so
+	// the result is bit-identical for every worker count.
+	Workers int
 	// Trace, when non-nil, observes training through the shared engine
 	// protocol: the whole procedure reports as restart 0, each
 	// probe-and-project round as one iteration event whose F is the
@@ -162,8 +168,8 @@ func FitContext(ctx context.Context, x *mat.Dense, protected []bool, opts Option
 		}
 		unit := mat.ScaleVec(1/norm, u)
 		elim := eliminator(unit)
-		proj = mat.Mul(proj, elim)
-		current = mat.Mul(current, elim)
+		proj = mulRows(proj, elim, opts.Workers)
+		current = mulRows(current, elim, opts.Workers)
 		rounds++
 	}
 	if opts.Trace != nil {
@@ -174,6 +180,34 @@ func FitContext(ctx context.Context, x *mat.Dense, protected []bool, opts Option
 		opts.Trace.RestartEnd(0, optimize.Result{F: probeAcc, Iterations: rounds, Status: status}, nil)
 	}
 	return &Model{P: proj, Rounds: rounds, ProbeAccuracy: probeAcc}, nil
+}
+
+// mulRows is mat.Mul with the output rows chunked over up to workers
+// goroutines via internal/par. Each output row is computed by exactly
+// one chunk with the same inner-loop order as mat.Mul, so the product
+// is bit-identical to the sequential one for every worker count.
+func mulRows(a, b *mat.Dense, workers int) *mat.Dense {
+	rows, inner := a.Dims()
+	if bi, _ := b.Dims(); inner != bi {
+		return mat.Mul(a, b) // delegate for the dimension-mismatch panic
+	}
+	out := mat.NewDense(rows, b.Cols())
+	par.Chunks(rows).Run(workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
 }
 
 // eliminator returns I − uuᵀ for a unit vector u.

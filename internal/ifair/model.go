@@ -5,7 +5,13 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
+
+// transformScratch recycles the K-length membership scratch slices the
+// chunked transform hands each chunk, so repeated batch transforms (the
+// serving hot path) don't allocate per chunk.
+var transformScratch par.Arena
 
 // Model is a fitted iFair representation: K prototype vectors and the
 // attribute-weight vector α of the distance function (Def. 7). A model is
@@ -213,9 +219,9 @@ func (m *Model) Transform(x *mat.Dense) *mat.Dense {
 }
 
 // TransformParallelChecked transforms every row of x using up to workers
-// goroutines from the shared chunked worker pool. Row chunking only
-// changes which goroutine computes a row, never its value, so the result
-// is bit-identical to Transform for any worker count. workers ≤ 1 runs
+// goroutines over a par.Chunks row plan. Row chunking only changes which
+// goroutine computes a row, never its value, so the result is
+// bit-identical to Transform for any worker count. workers ≤ 1 runs
 // inline.
 func (m *Model) TransformParallelChecked(x *mat.Dense, workers int) (*mat.Dense, error) {
 	rows, cols := x.Dims()
@@ -223,11 +229,12 @@ func (m *Model) TransformParallelChecked(x *mat.Dense, workers int) (*mat.Dense,
 		return nil, fmt.Errorf("ifair: data has %d attributes, model expects %d", cols, m.Dims())
 	}
 	out := mat.NewDense(rows, cols)
-	runChunks(rows, workers, func(_, lo, hi int) {
-		u := make([]float64, m.K()) // per-worker scratch
+	par.Chunks(rows).Run(workers, func(_, lo, hi int) {
+		u := transformScratch.Get(m.K()) // per-chunk membership scratch
 		for i := lo; i < hi; i++ {
 			m.transformRowInto(x.Row(i), u, out.Row(i))
 		}
+		transformScratch.Put(u)
 	})
 	return out, nil
 }

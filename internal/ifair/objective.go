@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/optimize"
+	"repro/internal/par"
 )
 
 // pair is one (i, j) record pair entering the fairness loss.
@@ -38,13 +39,30 @@ type objective struct {
 	xt    *mat.Dense // M×N transformed records
 	g     *mat.Dense // M×N upstream gradient ∂L/∂x̃
 
-	// per-worker scratch (index 0 is also the sequential path)
+	// Chunked-parallel state. Both plans are fixed by the problem sizes
+	// alone (records and fairness pairs respectively), so every partial
+	// buffer below has exactly one cell per chunk that runs and every
+	// reduction combines them in chunk order — the evaluation is
+	// bit-identical for any Workers value. See internal/par.
 	workers   int
-	q         [][]float64  // upstream on u, one buffer per worker
-	lossPart  []float64    // partial losses
-	gPart     []*mat.Dense // partial upstream gradients (parallel fairness)
-	gradVPart [][]float64  // partial prototype gradients (parallel backward)
-	gradAPart [][]float64  // partial α gradients (parallel backward)
+	planRec   par.Plan      // chunk plan over the m records
+	planPair  par.Plan      // chunk plan over the fairness pairs
+	lossRec   par.Scalars   // per-chunk forward losses
+	lossPair  par.Scalars   // per-chunk fairness losses
+	q         [][]float64   // upstream on u, one buffer per record chunk
+	gradVPart *par.Partials // partial prototype gradients (backward)
+	gradAPart *par.Partials // partial α gradients (backward)
+
+	// Fairness backward indices: pairCoef[p] holds 4µ·e_p from the loss
+	// pass, and the CSR adjacency (adjOff, adjPair, adjOther) lists for
+	// each record the pairs it appears in plus the opposite endpoint.
+	// Each record's upstream gradient row is then owned by exactly one
+	// chunk, so no per-chunk m×n partial matrices are needed and the
+	// accumulation order per row is fixed by construction.
+	pairCoef []float64
+	adjOff   []int32
+	adjPair  []int32
+	adjOther []int32
 }
 
 // newObjective precomputes the fairness pair list and target distances.
@@ -67,25 +85,6 @@ func newObjective(x *mat.Dense, opts Options, rng *rand.Rand) *objective {
 		g:       mat.NewDense(m, n),
 		workers: workers,
 	}
-	o.q = make([][]float64, workers)
-	o.lossPart = make([]float64, workers)
-	o.gradVPart = make([][]float64, workers)
-	o.gradAPart = make([][]float64, workers)
-	for w := 0; w < workers; w++ {
-		o.q[w] = make([]float64, opts.K)
-		if w > 0 {
-			// Worker 0 writes straight into the caller's gradient slices;
-			// only the extra workers need private partial buffers.
-			o.gradVPart[w] = make([]float64, opts.K*n)
-			o.gradAPart[w] = make([]float64, n)
-		}
-	}
-	if workers > 1 && opts.Mu > 0 {
-		o.gPart = make([]*mat.Dense, workers)
-		for w := 1; w < workers; w++ {
-			o.gPart[w] = mat.NewDense(m, n)
-		}
-	}
 	if opts.Mu > 0 {
 		o.pairs = buildPairs(m, opts, rng)
 		nonProt := nonProtectedIndices(n, opts.Protected)
@@ -93,47 +92,82 @@ func newObjective(x *mat.Dense, opts Options, rng *rand.Rand) *objective {
 		for p, pr := range o.pairs {
 			o.target[p] = maskedSqDist(x.Row(pr.i), x.Row(pr.j), nonProt)
 		}
+		o.adjOff, o.adjPair, o.adjOther = buildPairAdjacency(m, o.pairs)
 	}
+	o.initScratch()
 	return o
 }
 
+// initScratch sizes the per-chunk evaluation buffers from the two
+// chunk plans. Everything here is private mutable state; the problem
+// data (x, pairs, target, adjacency) is shared between clones.
+func (o *objective) initScratch() {
+	o.planRec = par.Chunks(o.m)
+	o.planPair = par.Chunks(len(o.pairs))
+	o.lossRec = o.planRec.NewScalars()
+	o.lossPair = o.planPair.NewScalars()
+	o.gradVPart = o.planRec.NewPartials(o.opts.K * o.n)
+	o.gradAPart = o.planRec.NewPartials(o.n)
+	o.q = make([][]float64, o.planRec.NumChunks())
+	for c := range o.q {
+		o.q[c] = make([]float64, o.opts.K)
+	}
+	if len(o.pairs) > 0 {
+		o.pairCoef = make([]float64, len(o.pairs))
+	}
+}
+
+// buildPairAdjacency converts the pair list into a CSR index: for each
+// record i, adjPair[adjOff[i]:adjOff[i+1]] are the pairs i appears in
+// and adjOther the opposite endpoints, in ascending pair order.
+func buildPairAdjacency(m int, pairs []pair) (off, pairIdx, other []int32) {
+	off = make([]int32, m+1)
+	for _, pr := range pairs {
+		off[pr.i+1]++
+		off[pr.j+1]++
+	}
+	for i := 0; i < m; i++ {
+		off[i+1] += off[i]
+	}
+	pairIdx = make([]int32, 2*len(pairs))
+	other = make([]int32, 2*len(pairs))
+	next := make([]int32, m)
+	copy(next, off[:m])
+	for p, pr := range pairs {
+		e := next[pr.i]
+		pairIdx[e], other[e] = int32(p), int32(pr.j)
+		next[pr.i]++
+		e = next[pr.j]
+		pairIdx[e], other[e] = int32(p), int32(pr.i)
+		next[pr.j]++
+	}
+	return off, pairIdx, other
+}
+
 // clone returns an objective sharing o's immutable problem data — the
-// training matrix, the fairness pair list and the target distances — with
-// private scratch buffers, so clones can be evaluated concurrently (one
-// per restart under FitContext).
+// training matrix, the fairness pair list, the target distances and the
+// pair adjacency — with private scratch buffers, so clones can be
+// evaluated concurrently (one per restart under FitContext).
 func (o *objective) clone() *objective {
 	c := &objective{
-		x:       o.x,
-		pairs:   o.pairs,
-		target:  o.target,
-		opts:    o.opts,
-		m:       o.m,
-		n:       o.n,
-		alpha:   make([]float64, o.n),
-		u:       mat.NewDense(o.m, o.opts.K),
-		raw:     mat.NewDense(o.m, o.opts.K),
-		gval:    mat.NewDense(o.m, o.opts.K),
-		xt:      mat.NewDense(o.m, o.n),
-		g:       mat.NewDense(o.m, o.n),
-		workers: o.workers,
+		x:        o.x,
+		pairs:    o.pairs,
+		target:   o.target,
+		adjOff:   o.adjOff,
+		adjPair:  o.adjPair,
+		adjOther: o.adjOther,
+		opts:     o.opts,
+		m:        o.m,
+		n:        o.n,
+		alpha:    make([]float64, o.n),
+		u:        mat.NewDense(o.m, o.opts.K),
+		raw:      mat.NewDense(o.m, o.opts.K),
+		gval:     mat.NewDense(o.m, o.opts.K),
+		xt:       mat.NewDense(o.m, o.n),
+		g:        mat.NewDense(o.m, o.n),
+		workers:  o.workers,
 	}
-	c.q = make([][]float64, c.workers)
-	c.lossPart = make([]float64, c.workers)
-	c.gradVPart = make([][]float64, c.workers)
-	c.gradAPart = make([][]float64, c.workers)
-	for w := 0; w < c.workers; w++ {
-		c.q[w] = make([]float64, c.opts.K)
-		if w > 0 {
-			c.gradVPart[w] = make([]float64, c.opts.K*c.n)
-			c.gradAPart[w] = make([]float64, c.n)
-		}
-	}
-	if c.workers > 1 && c.opts.Mu > 0 {
-		c.gPart = make([]*mat.Dense, c.workers)
-		for w := 1; w < c.workers; w++ {
-			c.gPart[w] = mat.NewDense(c.m, c.n)
-		}
-	}
+	c.initScratch()
 	return c
 }
 
@@ -149,12 +183,18 @@ func buildPairs(m int, opts Options, rng *rand.Rand) []pair {
 		}
 		return pairs
 	}
+	if m < 2 {
+		return nil // no distinct partner exists
+	}
 	pairs := make([]pair, 0, m*opts.PairSamples)
 	for i := 0; i < m; i++ {
 		for s := 0; s < opts.PairSamples; s++ {
+			// Resample on self-collision instead of dropping the draw, so
+			// every record gets exactly PairSamples partners and the pair
+			// budget matches the paper's m·samples count.
 			j := rng.Intn(m)
-			if j == i {
-				continue
+			for j == i {
+				j = rng.Intn(m)
 			}
 			pairs = append(pairs, pair{i, j})
 		}
@@ -229,14 +269,10 @@ func rawDistance(x, v, alpha []float64, p float64) float64 {
 // its upstream gradient into o.g when withGrad is set). Raw distances and
 // kernel weights are recorded for the backward pass.
 func (o *objective) forward(alpha, protos []float64, withGrad bool) float64 {
-	runChunks(o.m, o.workers, func(w, lo, hi int) {
-		o.lossPart[w] = o.forwardRange(alpha, protos, withGrad, lo, hi)
+	o.planRec.Run(o.workers, func(c, lo, hi int) {
+		o.lossRec[c] = o.forwardRange(alpha, protos, withGrad, lo, hi)
 	})
-	var loss float64
-	for w := 0; w < numChunks(o.m, o.workers); w++ {
-		loss += o.lossPart[w]
-	}
-	return loss
+	return o.lossRec.Sum()
 }
 
 // forwardRange runs the forward pass for records [lo, hi).
@@ -322,65 +358,73 @@ func (o *objective) forwardRange(alpha, protos []float64, withGrad bool, lo, hi 
 }
 
 // fairnessLoss accumulates the pairwise loss; with withGrad it also adds
-// the upstream gradients into o.g. Because a pair touches two arbitrary
-// record rows, parallel workers accumulate into private partial matrices
-// that are reduced in worker order afterwards.
+// the upstream gradients into o.g. The loss pass chunks over pairs with
+// per-chunk partial cells and records each pair's gradient coefficient
+// 4µ·e_p; the gradient pass then chunks over records, where each chunk
+// exclusively owns its rows of o.g and folds in the incident pairs from
+// the precomputed adjacency in ascending pair order. Both passes are
+// therefore bit-identical for every worker count, with no per-chunk
+// m×n partial matrices.
 func (o *objective) fairnessLoss(withGrad bool) float64 {
 	if o.opts.Mu == 0 || len(o.pairs) == 0 {
 		return 0
 	}
-	chunks := numChunks(len(o.pairs), o.workers)
-	if withGrad && chunks > 1 {
-		for w := 1; w < chunks; w++ {
-			clear(o.gPart[w].Data())
-		}
-	}
-	runChunks(len(o.pairs), o.workers, func(w, lo, hi int) {
-		dst := o.g
-		if w > 0 {
-			dst = o.gPart[w]
-		}
-		o.lossPart[w] = o.fairnessRange(withGrad, dst, lo, hi)
-	})
-	var loss float64
-	for w := 0; w < chunks; w++ {
-		loss += o.lossPart[w]
-	}
-	if withGrad && chunks > 1 {
-		g := o.g.Data()
-		for w := 1; w < chunks; w++ {
-			part := o.gPart[w].Data()
-			for i, v := range part {
-				g[i] += v
+	xd, nn, mu := o.xt.Data(), o.n, o.opts.Mu
+	o.planPair.Run(o.workers, func(c, lo, hi int) {
+		var loss float64
+		for p := lo; p < hi; p++ {
+			pr := o.pairs[p]
+			d := mat.SqDist(xd[pr.i*nn:(pr.i+1)*nn], xd[pr.j*nn:(pr.j+1)*nn])
+			e := d - o.target[p]
+			loss += mu * e * e
+			if withGrad {
+				o.pairCoef[p] = 4 * mu * e
 			}
 		}
+		o.lossPair[c] = loss
+	})
+	if withGrad {
+		o.planRec.Run(o.workers, func(_, lo, hi int) {
+			o.fairnessBackwardRange(lo, hi)
+		})
 	}
-	return loss
+	return o.lossPair.Sum()
 }
 
-// fairnessRange evaluates pairs [lo, hi), writing upstream gradients into
-// dst when withGrad is set.
-func (o *objective) fairnessRange(withGrad bool, dst *mat.Dense, lo, hi int) float64 {
-	var loss float64
-	for p := lo; p < hi; p++ {
-		pr := o.pairs[p]
-		xa := o.xt.Row(pr.i)
-		xb := o.xt.Row(pr.j)
-		d := mat.SqDist(xa, xb)
-		e := d - o.target[p]
-		loss += o.opts.Mu * e * e
-		if withGrad {
-			w := 4 * o.opts.Mu * e
-			ga := dst.Row(pr.i)
-			gb := dst.Row(pr.j)
-			for n := 0; n < o.n; n++ {
-				diff := xa[n] - xb[n]
-				ga[n] += w * diff
-				gb[n] -= w * diff
+// fairnessBackwardRange adds the fairness upstream gradient of records
+// [lo, hi) into their rows of o.g. For record i with incident pairs p
+// (opposite endpoint j_p) the contribution is
+//
+//	∂L_fair/∂x̃_i = Σ_p w_p·(x̃_i − x̃_{j_p}) = (Σ_p w_p)·x̃_i − Σ_p w_p·x̃_{j_p}
+//
+// with w_p = 4µ·e_p from the loss pass. The weighted opposite rows are
+// subtracted from g_i edge by edge, then the (Σw)·x̃_i term is added
+// once; each record's row is owned by exactly one chunk and the edge
+// order is fixed by the adjacency, so the result is independent of the
+// worker count.
+func (o *objective) fairnessBackwardRange(lo, hi int) {
+	xd, gd, nn := o.xt.Data(), o.g.Data(), o.n
+	for i := lo; i < hi; i++ {
+		start, end := o.adjOff[i], o.adjOff[i+1]
+		if start == end {
+			continue
+		}
+		gi := gd[i*nn : (i+1)*nn]
+		var wsum float64
+		for e := start; e < end; e++ {
+			w := o.pairCoef[o.adjPair[e]]
+			wsum += w
+			xo := xd[int(o.adjOther[e])*nn:]
+			xo = xo[:len(gi)]
+			for n, v := range xo {
+				gi[n] -= w * v
 			}
 		}
+		xti := xd[i*nn : (i+1)*nn]
+		for n, v := range xti {
+			gi[n] += wsum * v
+		}
 	}
-	return loss
 }
 
 // lossOnly evaluates the objective without gradients; it also serves as the
@@ -417,26 +461,14 @@ func (o *objective) evalAnalytic(theta, grad []float64) float64 {
 	loss := o.forward(alpha, protos, true)
 	loss += o.fairnessLoss(true)
 
-	chunks := numChunks(o.m, o.workers)
-	for w := 1; w < chunks; w++ {
-		clear(o.gradVPart[w])
-		clear(o.gradAPart[w])
-	}
-	runChunks(o.m, o.workers, func(w, lo, hi int) {
-		gvDst, gaDst := gradV, gradA
-		if w > 0 {
-			gvDst, gaDst = o.gradVPart[w], o.gradAPart[w]
-		}
-		o.backwardRange(alpha, protos, o.q[w], gvDst, gaDst, lo, hi)
+	o.gradVPart.Reset()
+	o.gradAPart.Reset()
+	o.planRec.Run(o.workers, func(c, lo, hi int) {
+		o.backwardRange(alpha, protos, o.q[c],
+			o.gradVPart.Buf(c, gradV), o.gradAPart.Buf(c, gradA), lo, hi)
 	})
-	for w := 1; w < chunks; w++ {
-		for i, v := range o.gradVPart[w] {
-			gradV[i] += v
-		}
-		for i, v := range o.gradAPart[w] {
-			gradA[i] += v
-		}
-	}
+	o.gradVPart.ReduceInto(gradV)
+	o.gradAPart.ReduceInto(gradA)
 
 	// chain through α = a².
 	for n := 0; n < o.n; n++ {
@@ -446,7 +478,7 @@ func (o *objective) evalAnalytic(theta, grad []float64) float64 {
 }
 
 // backwardRange backpropagates records [lo, hi) into the given gradient
-// buffers, using q as per-worker scratch.
+// buffers, using q as per-chunk scratch.
 func (o *objective) backwardRange(alpha, protos, q, gradV, gradA []float64, lo, hi int) {
 	k := o.opts.K
 	p := o.opts.P

@@ -152,9 +152,11 @@ type Options struct {
 	ForceNumericalGradient bool
 
 	// Workers is the number of goroutines evaluating the objective.
-	// Values ≤ 1 run sequentially. Results are deterministic for a fixed
-	// worker count (partial sums are reduced in worker order) but may
-	// differ across worker counts in the last floating-point bits.
+	// Values ≤ 1 run sequentially. Evaluation chunks records and pairs
+	// with internal/par, whose chunk plan depends only on the problem
+	// size and whose partial reductions run in chunk order — so losses,
+	// gradients and the fitted model are bit-identical for every worker
+	// count, including sequential runs.
 	Workers int
 
 	// Restarts is the number of random restarts; the best final loss wins.

@@ -38,6 +38,11 @@ type Options struct {
 	MaxIterations int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers is the number of goroutines evaluating the objective.
+	// Values ≤ 1 run sequentially. Evaluation chunks records with
+	// internal/par and reduces partials in chunk order, so the loss,
+	// gradient and fitted model are bit-identical for every worker count.
+	Workers int
 	// RestartWorkers bounds how many restarts train concurrently under
 	// FitContext; ≤ 1 runs them serially. The winner is bit-identical for
 	// every worker count.

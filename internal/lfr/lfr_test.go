@@ -218,3 +218,36 @@ func TestRestartsNotWorse(t *testing.T) {
 		t.Fatalf("best-of-3 loss %v worse than single %v", three.Loss, one.Loss)
 	}
 }
+
+// TestEvalBitIdenticalAcrossWorkers: the chunked objective reduces
+// per-chunk partials in chunk order (internal/par), so loss and gradient
+// are bit-identical for every worker count — on repeated evaluations
+// too.
+func TestEvalBitIdenticalAcrossWorkers(t *testing.T) {
+	eval := func(workers int) (float64, float64, []float64) {
+		rng := rand.New(rand.NewSource(13))
+		x, y, prot := labelledData(rng, 57)
+		opts := Options{K: 3, Az: 1, Ax: 1, Ay: 1, Workers: workers}
+		if err := opts.fill(); err != nil {
+			t.Fatal(err)
+		}
+		obj := newObjective(x, y, prot, opts)
+		theta := obj.initialTheta(rand.New(rand.NewSource(17)))
+		grad := make([]float64, len(theta))
+		l1 := obj.Eval(theta, grad)
+		l2 := obj.Eval(theta, grad)
+		return l1, l2, grad
+	}
+	want1, want2, wantGrad := eval(1)
+	for _, w := range []int{2, 3, 5, 8, 16, 17} {
+		got1, got2, gotGrad := eval(w)
+		if math.Float64bits(got1) != math.Float64bits(want1) || math.Float64bits(got2) != math.Float64bits(want2) {
+			t.Fatalf("workers=%d: losses (%v, %v) != sequential (%v, %v)", w, got1, got2, want1, want2)
+		}
+		for i := range wantGrad {
+			if math.Float64bits(gotGrad[i]) != math.Float64bits(wantGrad[i]) {
+				t.Fatalf("workers=%d: grad[%d] = %v != sequential %v", w, i, gotGrad[i], wantGrad[i])
+			}
+		}
+	}
+}

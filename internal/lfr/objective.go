@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // objective evaluates the LFR loss and its analytic gradient with respect
@@ -16,6 +17,12 @@ import (
 //
 // The statistical-parity term uses the smooth surrogate |e| ≈ √(e² + ε),
 // which keeps L-BFGS line searches well-behaved near e = 0.
+//
+// Both passes chunk over records via internal/par: the forward pass
+// reduces the loss and the per-group mean memberships through per-chunk
+// partial cells, the parity term runs serially between the passes, and
+// the backward pass reduces the b/V gradients the same way — so the
+// evaluation is bit-identical for every Workers value.
 type objective struct {
 	x         *mat.Dense
 	y         []float64 // 0/1 labels
@@ -26,17 +33,33 @@ type objective struct {
 	nUnprot   float64
 
 	// scratch
-	u  *mat.Dense // memberships
-	xh *mat.Dense // reconstructions
-	g  *mat.Dense // upstream ∂L/∂x̂
-	q  []float64  // per-record upstream on u (combined)
-	w  []float64  // decoded w_k
+	u  *mat.Dense  // memberships
+	xh *mat.Dense  // reconstructions
+	g  *mat.Dense  // upstream ∂L/∂x̂
+	q  [][]float64 // upstream on u, one buffer per record chunk
+	w  []float64   // decoded w_k
+
+	workers        int
+	plan           par.Plan    // chunk plan over the m records
+	lossC          par.Scalars // per-chunk forward losses
+	meanProt       []float64   // mean membership, protected group
+	meanUnprot     []float64   // mean membership, complement group
+	meanProtPart   *par.Partials
+	meanUnprotPart *par.Partials
+	gradBPart      *par.Partials
+	gradVPart      *par.Partials
+	dParity        []float64 // ∂L_z/∂e_k · φ'(e_k)
+	dLdyhat        []float64 // per-record ∂L_y/∂ŷ, reused by backward
 }
 
 const parityEps = 1e-8
 
 func newObjective(x *mat.Dense, y, protected []bool, opts Options) *objective {
 	m, n := x.Dims()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	o := &objective{
 		x:         x,
 		protected: protected,
@@ -46,8 +69,8 @@ func newObjective(x *mat.Dense, y, protected []bool, opts Options) *objective {
 		u:         mat.NewDense(m, opts.K),
 		xh:        mat.NewDense(m, n),
 		g:         mat.NewDense(m, n),
-		q:         make([]float64, opts.K),
 		w:         make([]float64, opts.K),
+		workers:   workers,
 	}
 	o.y = make([]float64, m)
 	for i, yi := range y {
@@ -60,6 +83,20 @@ func newObjective(x *mat.Dense, y, protected []bool, opts Options) *objective {
 			o.nUnprot++
 		}
 	}
+	o.plan = par.Chunks(m)
+	o.lossC = o.plan.NewScalars()
+	o.meanProt = make([]float64, opts.K)
+	o.meanUnprot = make([]float64, opts.K)
+	o.meanProtPart = o.plan.NewPartials(opts.K)
+	o.meanUnprotPart = o.plan.NewPartials(opts.K)
+	o.gradBPart = o.plan.NewPartials(opts.K)
+	o.gradVPart = o.plan.NewPartials(opts.K * n)
+	o.q = make([][]float64, o.plan.NumChunks())
+	for c := range o.q {
+		o.q[c] = make([]float64, opts.K)
+	}
+	o.dParity = make([]float64, opts.K)
+	o.dLdyhat = make([]float64, m)
 	return o
 }
 
@@ -104,15 +141,52 @@ func (o *objective) Eval(theta, grad []float64) float64 {
 		o.w[kk] = sigmoid(theta[kk])
 	}
 
-	var loss float64
-	// Accumulators for the parity term: mean membership per group.
-	meanProt := make([]float64, k)
-	meanUnprot := make([]float64, k)
-	// Per-record ∂L_y/∂ŷ, needed again in the backward pass.
-	dLdyhat := make([]float64, o.m)
+	// ---- forward pass (chunked over records) ----
+	clear(o.meanProt)
+	clear(o.meanUnprot)
+	o.meanProtPart.Reset()
+	o.meanUnprotPart.Reset()
+	o.plan.Run(o.workers, func(c, lo, hi int) {
+		o.lossC[c] = o.forwardRange(protos,
+			o.meanProtPart.Buf(c, o.meanProt),
+			o.meanUnprotPart.Buf(c, o.meanUnprot), lo, hi)
+	})
+	o.meanProtPart.ReduceInto(o.meanProt)
+	o.meanUnprotPart.ReduceInto(o.meanUnprot)
+	loss := o.lossC.Sum()
 
-	// ---- forward pass ----
-	for i := 0; i < o.m; i++ {
+	// parity loss with smooth |·| (serial: K terms between the passes)
+	var dParity []float64
+	if o.opts.Az > 0 && o.nProt > 0 && o.nUnprot > 0 {
+		dParity = o.dParity
+		for kk := 0; kk < k; kk++ {
+			e := o.meanProt[kk] - o.meanUnprot[kk]
+			phi := math.Sqrt(e*e + parityEps)
+			loss += o.opts.Az * phi
+			dParity[kk] = o.opts.Az * e / phi
+		}
+	}
+
+	// ---- backward pass (chunked over records) ----
+	o.gradBPart.Reset()
+	o.gradVPart.Reset()
+	o.plan.Run(o.workers, func(c, lo, hi int) {
+		o.backwardRange(protos, dParity, o.q[c],
+			o.gradBPart.Buf(c, gradB), o.gradVPart.Buf(c, gradV), lo, hi)
+	})
+	o.gradBPart.ReduceInto(gradB)
+	o.gradVPart.ReduceInto(gradV)
+	return loss
+}
+
+// forwardRange computes memberships, reconstructions and the upstream
+// ∂L/∂x̂ for records [lo, hi), accumulating the per-group mean
+// memberships into the given chunk-local buffers and returning the
+// chunk's loss contribution.
+func (o *objective) forwardRange(protos, meanProt, meanUnprot []float64, lo, hi int) float64 {
+	k := o.opts.K
+	var loss float64
+	for i := lo; i < hi; i++ {
 		xi := o.x.Row(i)
 		ui := o.u.Row(i)
 		maxZ := math.Inf(-1)
@@ -158,45 +232,38 @@ func (o *objective) Eval(theta, grad []float64) float64 {
 			const eps = 1e-9
 			p := math.Min(math.Max(yhat, eps), 1-eps)
 			loss += o.opts.Ay * (-o.y[i]*math.Log(p) - (1-o.y[i])*math.Log(1-p))
-			dLdyhat[i] = o.opts.Ay * (p - o.y[i]) / (p * (1 - p))
+			o.dLdyhat[i] = o.opts.Ay * (p - o.y[i]) / (p * (1 - p))
 		}
 	}
+	return loss
+}
 
-	// parity loss with smooth |·|
-	var dParity []float64 // ∂L_z/∂e_k · φ'(e_k)
-	if o.opts.Az > 0 && o.nProt > 0 && o.nUnprot > 0 {
-		dParity = make([]float64, k)
-		for kk := 0; kk < k; kk++ {
-			e := meanProt[kk] - meanUnprot[kk]
-			phi := math.Sqrt(e*e + parityEps)
-			loss += o.opts.Az * phi
-			dParity[kk] = o.opts.Az * e / phi
-		}
-	}
-
-	// ---- backward pass ----
-	for i := 0; i < o.m; i++ {
+// backwardRange backpropagates records [lo, hi) into the given gradient
+// buffers, using q (length K) as chunk-local scratch.
+func (o *objective) backwardRange(protos, dParity, q, gradB, gradV []float64, lo, hi int) {
+	k := o.opts.K
+	for i := lo; i < hi; i++ {
 		xi := o.x.Row(i)
 		ui := o.u.Row(i)
 		gi := o.g.Row(i)
 		// total upstream on u_ik
 		var qbar float64
 		for kk := 0; kk < k; kk++ {
-			q := mat.Dot(gi, protos[kk*o.n:(kk+1)*o.n]) // via x̂
-			q += dLdyhat[i] * o.w[kk]                   // via ŷ
+			qk := mat.Dot(gi, protos[kk*o.n:(kk+1)*o.n]) // via x̂
+			qk += o.dLdyhat[i] * o.w[kk]                 // via ŷ
 			if dParity != nil {
 				if o.protected[i] {
-					q += dParity[kk] / o.nProt
+					qk += dParity[kk] / o.nProt
 				} else {
-					q -= dParity[kk] / o.nUnprot
+					qk -= dParity[kk] / o.nUnprot
 				}
 			}
-			o.q[kk] = q
-			qbar += ui[kk] * q
+			q[kk] = qk
+			qbar += ui[kk] * qk
 		}
 		for kk := 0; kk < k; kk++ {
 			uik := ui[kk]
-			cik := uik * (o.q[kk] - qbar)
+			cik := uik * (q[kk] - qbar)
 			vk := protos[kk*o.n : (kk+1)*o.n]
 			gv := gradV[kk*o.n : (kk+1)*o.n]
 			for n := 0; n < o.n; n++ {
@@ -204,10 +271,9 @@ func (o *objective) Eval(theta, grad []float64) float64 {
 				gv[n] += uik*gi[n] + cik*2*(xi[n]-vk[n])
 			}
 			// ∂L/∂b_k via ŷ: dL/dŷ · u_ik · σ'(b_k)
-			gradB[kk] += dLdyhat[i] * uik * o.w[kk] * (1 - o.w[kk])
+			gradB[kk] += o.dLdyhat[i] * uik * o.w[kk] * (1 - o.w[kk])
 		}
 	}
-	return loss
 }
 
 func sigmoid(z float64) float64 {

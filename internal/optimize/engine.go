@@ -5,7 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
+
+	"repro/internal/par"
 )
 
 // This file is the shared training engine used by every learner in the
@@ -94,31 +95,17 @@ func Restarts(ctx context.Context, n, workers int, fn func(ctx context.Context, 
 		}
 		losses[r], errs[r] = fn(ctx, r)
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for r := 0; r < n; r++ {
+	// Each restart writes only its own losses[r]/errs[r] cell and the
+	// winner scan below visits cells in ascending index order, so the
+	// chunked fan-out (dynamic dispatch included) cannot change the
+	// outcome. Restart counts are far below par.MaxChunks in practice,
+	// so every chunk is a single restart and load balancing matches the
+	// old one-index-at-a-time pool.
+	par.Chunks(n).Run(workers, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
 			run(r)
 		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for r := range idx {
-					run(r)
-				}
-			}()
-		}
-		for r := 0; r < n; r++ {
-			idx <- r
-		}
-		close(idx)
-		wg.Wait()
-	}
+	})
 
 	if err := ctx.Err(); err != nil {
 		for r := 0; r < n; r++ {

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// FuzzChunkCover fuzzes the planner over (total, workers): chunks must
+// cover [0, total) exactly once (disjointness + cover), run exactly
+// NumChunks callbacks, and report bounds matching the partition — for
+// hostile worker counts included. Run under `make fuzz`.
+func FuzzChunkCover(f *testing.F) {
+	f.Add(100, 16)
+	f.Add(7, 5)
+	f.Add(0, 1)
+	f.Add(1, 17)
+	f.Add(33, -4)
+	f.Add(1<<16, 64)
+	f.Fuzz(func(t *testing.T, total, workers int) {
+		if total < 0 {
+			total = -total
+		}
+		total %= 1 << 16
+		if workers > 512 {
+			workers %= 512
+		}
+		p := Chunks(total)
+		wantChunks := total
+		if wantChunks > MaxChunks {
+			wantChunks = MaxChunks
+		}
+		if p.NumChunks() != wantChunks {
+			t.Fatalf("NumChunks(%d) = %d, want %d", total, p.NumChunks(), wantChunks)
+		}
+		covered := make([]int8, total)
+		calls := 0
+		var mu sync.Mutex
+		p.Run(workers, func(chunk, lo, hi int) {
+			if wantLo, wantHi := p.Bounds(chunk); lo != wantLo || hi != wantHi {
+				t.Errorf("chunk %d: (%d,%d) != Bounds (%d,%d)", chunk, lo, hi, wantLo, wantHi)
+			}
+			if lo >= hi {
+				t.Errorf("chunk %d: empty range [%d, %d)", chunk, lo, hi)
+			}
+			mu.Lock()
+			calls++
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			mu.Unlock()
+		})
+		if calls != p.NumChunks() {
+			t.Fatalf("total=%d workers=%d: %d callbacks for %d planned chunks", total, workers, calls, p.NumChunks())
+		}
+		for i, n := range covered {
+			if n != 1 {
+				t.Fatalf("total=%d workers=%d: item %d covered %d times", total, workers, i, n)
+			}
+		}
+	})
+}

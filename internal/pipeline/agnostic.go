@@ -199,7 +199,7 @@ func ifairBRep(cfg StudyConfig) Representation {
 		Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
 		PairSamples: 64,
 		Restarts:    cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-		Trace: cfg.Trace,
+		Workers: cfg.Workers, Trace: cfg.Trace,
 	}}
 }
 

@@ -68,7 +68,7 @@ func AuditStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig
 			K: cfg.K[0], Lambda: 1, Mu: 1,
 			Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
 			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-			Trace: cfg.Trace,
+			Workers: cfg.Workers, Trace: cfg.Trace,
 		}},
 		&CensoredRep{Opts: adversarial.Options{Seed: cfg.Seed, Trace: cfg.Trace}},
 	}
@@ -76,7 +76,7 @@ func AuditStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyConfig
 		reps = append(reps, &LFRRep{Opts: lfr.Options{
 			K: cfg.K[0], Az: 1, Ax: 1, Ay: 1,
 			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-			Trace: cfg.Trace,
+			Workers: cfg.Workers, Trace: cfg.Trace,
 		}})
 	}
 	for _, rep := range reps {

@@ -95,7 +95,7 @@ func Fig2StudyContext(ctx context.Context, cfg StudyConfig) ([]Fig2Cell, error) 
 					K: 4, Lambda: lambda, Mu: mu,
 					Init: ifair.InitMaskedProtected, Fairness: ifair.PairwiseFairness,
 					Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-					Trace: cfg.Trace,
+					Workers: cfg.Workers, Trace: cfg.Trace,
 				}})
 				if err != nil {
 					continue
@@ -120,7 +120,7 @@ func Fig2StudyContext(ctx context.Context, cfg StudyConfig) ([]Fig2Cell, error) 
 			cell, err := evalRep(&LFRRep{Opts: lfr.Options{
 				K: 4, Az: az, Ax: 1, Ay: 1,
 				Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-				Trace: cfg.Trace,
+				Workers: cfg.Workers, Trace: cfg.Trace,
 			}})
 			if err != nil {
 				continue
@@ -194,7 +194,7 @@ func AdversarialStudyContext(ctx context.Context, ds *dataset.Dataset, cfg Study
 		if err := probe(&LFRRep{Opts: lfr.Options{
 			K: cfg.K[0], Az: 1, Ax: 1, Ay: 1,
 			Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-			Trace: cfg.Trace,
+			Workers: cfg.Workers, Trace: cfg.Trace,
 		}}); err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func AdversarialStudyContext(ctx context.Context, ds *dataset.Dataset, cfg Study
 		K: cfg.K[0], Lambda: 1, Mu: 1,
 		Init: ifair.InitMaskedProtected, Fairness: ifair.SampledFairness,
 		Restarts: cfg.Restarts, MaxIterations: cfg.MaxIterations, Seed: cfg.Seed,
-		Trace: cfg.Trace,
+		Workers: cfg.Workers, Trace: cfg.Trace,
 	}}); err != nil {
 		return nil, err
 	}

@@ -36,6 +36,10 @@ type StudyConfig struct {
 	// deterministic regardless of the value: every configuration is
 	// seeded independently and results are collected in grid order.
 	Parallel int
+	// Workers is the per-fit objective-evaluation worker count passed to
+	// the iFair and LFR learners (≤ 1 evaluates sequentially). Fitted
+	// models are bit-identical for every value; see internal/par.
+	Workers int
 	// Trace, when non-nil, observes every training run launched by the
 	// studies (restart and iteration events). Grid searches fit many
 	// configurations — with Parallel > 1 concurrently — so implementations
@@ -99,6 +103,7 @@ func (c *StudyConfig) iFairConfigs(variant ifair.InitStrategy) []ifair.Options {
 					Restarts:      c.Restarts,
 					MaxIterations: c.MaxIterations,
 					Seed:          c.Seed,
+					Workers:       c.Workers,
 					Trace:         c.Trace,
 				})
 			}
@@ -127,6 +132,7 @@ func (c *StudyConfig) lfrConfigs() []lfr.Options {
 						Restarts:      c.Restarts,
 						MaxIterations: c.MaxIterations,
 						Seed:          c.Seed,
+						Workers:       c.Workers,
 						Trace:         c.Trace,
 					})
 				}

@@ -6,7 +6,14 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
+
+// batchScratch recycles the row-major staging buffers batches are copied
+// into before the batched transform, so a steady request stream does not
+// allocate a fresh input matrix per flush. Output matrices are NOT
+// pooled: their rows are handed to the waiting request goroutines.
+var batchScratch par.Arena
 
 // batchResult carries one transformed row (or the batch-level error) back
 // to the waiting request goroutine.
@@ -29,8 +36,8 @@ type modelQueue struct {
 }
 
 // Batcher coalesces concurrent single-row transform requests into one
-// batched Model.Transform call per model, dispatched through the chunked
-// worker pool (TransformParallel). A batch is flushed when it reaches
+// batched Model.Transform call per model, dispatched through the
+// internal/par chunk plan (TransformParallel). A batch is flushed when it reaches
 // MaxBatch rows or when the oldest row has waited MaxWait, whichever
 // comes first. Under low concurrency this adds at most MaxWait of
 // latency; under high concurrency batches fill instantly and the
@@ -129,11 +136,14 @@ func (b *Batcher) flushLocked(key string, q *modelQueue) {
 		b.sizes.Observe(float64(len(rows)))
 	}
 	go func() {
-		x := mat.NewDense(len(rows), entry.Model.Dims())
+		dims := entry.Model.Dims()
+		backing := batchScratch.Get(len(rows) * dims)
+		x := mat.NewDenseData(len(rows), dims, backing)
 		for i, p := range rows {
 			copy(x.Row(i), p.row)
 		}
 		xt, err := entry.Model.TransformParallelChecked(x, b.workers)
+		batchScratch.Put(backing)
 		for i, p := range rows {
 			if err != nil {
 				p.out <- batchResult{err: err}

@@ -4,12 +4,13 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers race fuzz cover bench bench-fit experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults race fuzz cover bench bench-fit experiments examples serve fmt vet clean
 
-# vet, race and the widened worker sweep run on every default invocation
-# so the concurrent registry/batcher code in internal/server and the
-# chunked-parallel objective paths are checked routinely.
-all: build vet test race test-workers
+# vet, race, the widened worker sweep and the crash-safety fault sweep run
+# on every default invocation so the concurrent registry/batcher code in
+# internal/server, the chunked-parallel objective paths and the
+# checkpoint/resume machinery are checked routinely.
+all: build vet test race test-workers test-faults
 
 build:
 	$(GO) build ./...
@@ -23,14 +24,25 @@ test:
 test-workers:
 	IFAIR_TEST_WORKER_SWEEP=1 $(GO) test -race ./internal/ifair/ ./internal/par/
 
+# Widened fault-injection sweep for the crash-safety suite: extra
+# deterministic kill points for the resume-equivalence property tests,
+# under the race detector, plus the checkpoint/faultinject/optimize fault
+# paths and the real-SIGTERM CLI test.
+test-faults:
+	IFAIR_TEST_FAULTS=1 $(GO) test -race \
+		./internal/checkpoint/ ./internal/faultinject/ ./internal/optimize/ \
+		./internal/ifair/ ./cmd/ifair/
+
 race:
 	$(GO) test -race ./...
 
-# Fuzz the internal/par chunk planner: cover/disjointness/accounting of
-# the partition under hostile (total, workers) inputs.
+# Fuzz the internal/par chunk planner (partition cover/disjointness) and
+# the checkpoint decoder (arbitrary bytes never panic, corruption is
+# always reported as ErrCorrupt).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzChunkCover -fuzztime=$(FUZZTIME) ./internal/par/
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 
 cover:
 	$(GO) test -cover ./...

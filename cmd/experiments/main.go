@@ -77,6 +77,7 @@ func main() {
 		plot    = flag.Bool("plot", false, "render ASCII charts for fig3 and fig4")
 		trace   = flag.Bool("trace", false, "print structured TRAIN lines for every optimizer restart to stderr")
 		workers = flag.Int("workers", 1, "objective-evaluation goroutines per fit (results are bit-identical for any value)")
+		ckptDir = flag.String("checkpoint-dir", "", "directory for crash-safe training snapshots; a killed study rerun with the same flags resumes bit-identically")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -88,6 +89,7 @@ func main() {
 	}
 	cfg.Parallel = runtime.NumCPU()
 	cfg.Workers = *workers
+	cfg.CheckpointDir = *ckptDir
 	if *trace {
 		cfg.Trace = &trainTrace{w: os.Stderr, workers: max(*workers, 1)}
 	}

@@ -6,9 +6,17 @@
 //
 //	ifair -dataset credit -k 10 -lambda 1 -mu 1 -out fair.csv
 //	ifair -input data.csv -protected 3,4 -k 20 -out fair.csv
+//	ifair -dataset credit -checkpoint ckpt/ -out fair.csv   # crash-safe
 //
 // CSV input must have a header row and numeric cells; -protected lists
 // zero-based column indices of protected attributes.
+//
+// With -checkpoint, training state is snapshotted atomically to the given
+// directory; if the process is killed (SIGINT/SIGTERM) or crashes, rerunning
+// the same command resumes where it left off and produces a model
+// bit-identical to an uninterrupted run. -resume additionally errors when
+// the directory's snapshot belongs to a different dataset, options or seed
+// instead of silently starting fresh.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dataset"
 	"repro/internal/ifair"
 	"repro/internal/mat"
@@ -57,6 +66,9 @@ func run() error {
 		saveModel = flag.String("save", "", "write the trained model as JSON to this path")
 		loadModel = flag.String("load", "", "skip training: load a model JSON and transform the input")
 		explain   = flag.Bool("explain", false, "print the learned attribute weights (largest first) to stderr")
+		ckptDir   = flag.String("checkpoint", "", "directory for crash-safe training snapshots (enables checkpointing)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot at least every N optimizer iterations")
+		resume    = flag.Bool("resume", false, "require the checkpoint to match this run (error on mismatch instead of starting fresh)")
 	)
 	flag.Parse()
 
@@ -95,12 +107,36 @@ func run() error {
 		if *progress {
 			opts.Trace = &progressTrace{w: os.Stderr}
 		}
+		var mgr *checkpoint.Manager
+		if *ckptDir != "" {
+			mgr, err = checkpoint.Open(checkpoint.Config{
+				Dir:             *ckptDir,
+				EveryIterations: *ckptEvery,
+				Strict:          *resume,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "checkpoint: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			opts.Checkpoint = mgr
+		}
 		// SIGINT/SIGTERM cancel the fit; the engine stops every in-flight
 		// restart within one iteration.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		model, err = ifair.FitContext(ctx, x, opts)
 		if err != nil {
+			if mgr != nil && ctx.Err() != nil {
+				// Killed mid-training: flush a final snapshot so the next
+				// invocation resumes from the very last iterate observed.
+				if ferr := mgr.Flush(); ferr != nil {
+					fmt.Fprintf(os.Stderr, "checkpoint: final flush failed: %v\n", ferr)
+				} else {
+					fmt.Fprintf(os.Stderr, "checkpoint: interrupted; state saved to %s — rerun with the same flags to resume\n", mgr.Dir())
+				}
+			}
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "trained iFair model: K=%d, N=%d, final loss %.6g\n",

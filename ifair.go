@@ -14,6 +14,7 @@ import (
 	"context"
 
 	"repro/internal/adversarial"
+	"repro/internal/checkpoint"
 	"repro/internal/dataset"
 	"repro/internal/fairrank"
 	"repro/internal/ifair"
@@ -93,6 +94,29 @@ type Iteration = ifair.Iteration
 // OptResult is the final state of one optimizer run, as reported to
 // Trace.RestartEnd.
 type OptResult = optimize.Result
+
+// ---- crash-safe training ----
+
+// CheckpointManager persists training state atomically so a killed or
+// crashed fit can resume. Open one with OpenCheckpoint and set it as
+// Options.Checkpoint; a resumed fit skips every restart the snapshot
+// already holds and produces a model bit-identical to an uninterrupted
+// run. Snapshots written for different data, options or seed are detected
+// by fingerprint and ignored (or rejected under CheckpointConfig.Strict).
+type CheckpointManager = checkpoint.Manager
+
+// CheckpointConfig configures OpenCheckpoint; the zero value needs only
+// Dir.
+type CheckpointConfig = checkpoint.Config
+
+// ErrCheckpointCorrupt marks snapshot files that fail decoding (truncated
+// or bit-flipped); the manager skips them in favour of the newest good
+// snapshot and reports them via CorruptFiles.
+var ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+
+// OpenCheckpoint opens (or creates) a checkpoint directory for crash-safe
+// training.
+func OpenCheckpoint(cfg CheckpointConfig) (*CheckpointManager, error) { return checkpoint.Open(cfg) }
 
 // ---- checked transforms ----
 //

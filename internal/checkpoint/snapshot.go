@@ -1,0 +1,175 @@
+// Package checkpoint makes training durable: it persists versioned,
+// checksummed snapshots of multi-restart optimisation state so a fit
+// killed by a crash, OOM or preemption resumes instead of starting over.
+//
+// A snapshot records which random restarts have finished (their final
+// parameters, loss and seed lineage) plus the best-so-far iterate of every
+// restart still in flight. Because every restart is a pure function of
+// (base seed, restart index) — see optimize.RestartSeed — a resumed fit
+// replays finished restarts from the snapshot verbatim and re-runs
+// unfinished ones from their derived seeds, so the resumed model is
+// bit-identical to the one an uninterrupted run would have produced.
+//
+// Snapshots are written atomically (temp file + fsync + rename + directory
+// fsync) and framed with a magic header, an explicit payload length and a
+// CRC-64 checksum, so a torn, truncated or bit-flipped file is detected at
+// load time and the loader falls back to the previous good snapshot
+// instead of crashing or resuming from garbage.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// magic identifies a snapshot file and pins the framing version; bumping
+// the trailing digit invalidates every older file.
+const magic = "IFAIRCKPT1\n"
+
+// ErrCorrupt reports a snapshot file that cannot be trusted: wrong magic,
+// truncated frame, checksum mismatch or an inconsistent payload. Loaders
+// match it with errors.Is and fall back to an older snapshot.
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// State is the decoded content of one snapshot: the identity of the
+// training run plus everything needed to resume it.
+type State struct {
+	// Seed is the base RNG seed of the run; restart r trains from
+	// optimize.RestartSeed(Seed, r).
+	Seed int64 `json:"seed"`
+	// Restarts is the total restart count of the run.
+	Restarts int `json:"restarts"`
+	// Fingerprint identifies the training problem (options + data). A
+	// snapshot whose fingerprint does not match the resuming run is
+	// rejected rather than silently mixed into a different problem.
+	Fingerprint string `json:"fingerprint"`
+	// Completed holds one record per finished restart, sorted by index.
+	Completed []Restart `json:"completed,omitempty"`
+	// InProgress holds the last observed iterate of restarts that were
+	// still training when the snapshot was taken, sorted by index. With a
+	// monotone-descent optimizer this is the best-so-far point; it exists
+	// for forensics and monitoring, not for resuming (unfinished restarts
+	// re-run from their seed so the result stays bit-identical).
+	InProgress []Progress `json:"in_progress,omitempty"`
+}
+
+// Restart is the durable outcome of one finished random restart.
+type Restart struct {
+	// Index is the restart's position in [0, Restarts).
+	Index int `json:"index"`
+	// Seed is the derived RNG seed the restart trained from (the seed
+	// lineage: optimize.RestartSeed(base, Index)).
+	Seed int64 `json:"seed"`
+	// Iterations is how many optimizer iterations the restart took.
+	Iterations int `json:"iterations"`
+	// Loss is the final objective value. Omitted for failed restarts
+	// (JSON cannot carry the NaN a failed restart reports).
+	Loss float64 `json:"loss"`
+	// X is the final packed parameter vector of a successful restart.
+	X []float64 `json:"x,omitempty"`
+	// Failed marks a restart whose optimizer returned an error; Error
+	// carries the message. Failed restarts are replayed as failures on
+	// resume — deterministic training would fail them identically.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Progress is the last observed iterate of an unfinished restart.
+type Progress struct {
+	Index     int       `json:"index"`
+	Iteration int       `json:"iteration"`
+	Loss      float64   `json:"loss"`
+	X         []float64 `json:"x,omitempty"`
+}
+
+// corruptf wraps ErrCorrupt with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Encode frames the state as magic || length || JSON payload || CRC-64.
+// Non-finite floats cannot cross JSON, so failed restarts must carry
+// Loss 0 (Manager enforces this) and every X value must be finite.
+func Encode(s *State) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode snapshot: %w", err)
+	}
+	buf := make([]byte, 0, len(magic)+8+len(payload)+8)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint64(buf, crc64.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+// Decode verifies the frame and checksum and unmarshals the payload. Any
+// truncation, bit flip or inconsistency yields an error wrapping
+// ErrCorrupt — never a panic and never a silently wrong State.
+func Decode(data []byte) (*State, error) {
+	if len(data) < len(magic)+16 {
+		return nil, corruptf("truncated: %d bytes is shorter than the smallest valid snapshot", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corruptf("bad magic header")
+	}
+	n := binary.BigEndian.Uint64(data[len(magic) : len(magic)+8])
+	want := uint64(len(data) - len(magic) - 16)
+	if n != want {
+		return nil, corruptf("payload length %d does not match frame size %d", n, want)
+	}
+	payload := data[len(magic)+8 : len(data)-8]
+	sum := binary.BigEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(payload, crcTable); got != sum {
+		return nil, corruptf("checksum mismatch: computed %016x, stored %016x", got, sum)
+	}
+	var s State
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, corruptf("payload is not a snapshot: %v", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// validate rejects payloads that are well-formed JSON but not a coherent
+// snapshot (a checksum collision or an encoder from the future).
+func (s *State) validate() error {
+	if s.Restarts < 0 {
+		return corruptf("negative restart count %d", s.Restarts)
+	}
+	seen := make(map[int]bool, len(s.Completed))
+	for _, r := range s.Completed {
+		if r.Index < 0 || (s.Restarts > 0 && r.Index >= s.Restarts) {
+			return corruptf("completed restart index %d out of range [0, %d)", r.Index, s.Restarts)
+		}
+		if seen[r.Index] {
+			return corruptf("duplicate completed restart %d", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Failed {
+			continue
+		}
+		if math.IsNaN(r.Loss) || math.IsInf(r.Loss, 0) {
+			return corruptf("restart %d has non-finite loss", r.Index)
+		}
+		for _, v := range r.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return corruptf("restart %d has non-finite parameters", r.Index)
+			}
+		}
+	}
+	for _, p := range s.InProgress {
+		if p.Index < 0 || (s.Restarts > 0 && p.Index >= s.Restarts) {
+			return corruptf("in-progress restart index %d out of range [0, %d)", p.Index, s.Restarts)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package faultinject is a deterministic fault injector for the crash-
+// safety test suite: an FS that fails, short-writes or runs out of space
+// on exactly the Nth operation, an objective wrapper that poisons a
+// chosen evaluation with NaN/Inf gradients, and a Trace that kills a
+// training run the instant a chosen restart reaches a chosen iteration.
+//
+// Every trigger is a countdown (Fuse), so a failing schedule is replayed
+// exactly by re-arming the same counts — no wall clocks, no randomness in
+// the injector itself. Schedule derives fault points from a seed with the
+// same splitmix64 mixing the training engine uses for restarts, so
+// property tests can sweep deterministic yet well-spread fault schedules.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/optimize"
+)
+
+// ErrInjected is the root of every injected failure; match with
+// errors.Is to distinguish injected faults from real ones in tests.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrNoSpace mimics ENOSPC from a short write.
+var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrInjected)
+
+// Fuse fires on the Nth call to Trip (1-based). A sticky fuse keeps
+// firing from the Nth call on — a disk that stays full — while a
+// non-sticky fuse fires exactly once — a transient glitch. The zero Fuse
+// (or n ≤ 0) never fires. Safe for concurrent use.
+type Fuse struct {
+	n      int64
+	sticky bool
+	count  atomic.Int64
+}
+
+// NewFuse returns a fuse that fires only on the nth trip.
+func NewFuse(n int) *Fuse { return &Fuse{n: int64(n)} }
+
+// NewStickyFuse returns a fuse that fires on the nth and every later trip.
+func NewStickyFuse(n int) *Fuse { return &Fuse{n: int64(n), sticky: true} }
+
+// Trip counts one event and reports whether the fault fires on it.
+func (f *Fuse) Trip() bool {
+	if f == nil || f.n <= 0 {
+		return false
+	}
+	c := f.count.Add(1)
+	if f.sticky {
+		return c >= f.n
+	}
+	return c == f.n
+}
+
+// Count returns how many times Trip was called.
+func (f *Fuse) Count() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.count.Load()
+}
+
+// Schedule derives k deterministic, well-spread values in [1, max] from a
+// seed — fault points for sweeps — using the engine's splitmix64 mixing.
+func Schedule(seed int64, k, max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	out := make([]int, k)
+	for i := range out {
+		z := uint64(optimize.RestartSeed(seed, i+1))
+		out[i] = int(z%uint64(max)) + 1
+	}
+	return out
+}
+
+// FS wraps an inner checkpoint.FS and injects write-path faults when the
+// corresponding fuse fires. Fuses left nil never fire; reads are never
+// faulted (corrupting reads is done by corrupting files — see FlipBit and
+// Truncate).
+type FS struct {
+	// Inner is the wrapped filesystem; nil selects the real one.
+	Inner checkpoint.FS
+	// CreateFault fails Create.
+	CreateFault *Fuse
+	// WriteFault fails File.Write outright, writing nothing.
+	WriteFault *Fuse
+	// ShortWrite writes only half the buffer and returns ErrNoSpace —
+	// the torn-file case atomic replacement must tolerate.
+	ShortWrite *Fuse
+	// SyncFault fails File.Sync.
+	SyncFault *Fuse
+	// RenameFault fails Rename, leaving the temp file unpublished.
+	RenameFault *Fuse
+}
+
+func (i *FS) inner() checkpoint.FS {
+	if i.Inner == nil {
+		return checkpoint.OSFS{}
+	}
+	return i.Inner
+}
+
+// MkdirAll implements checkpoint.FS.
+func (i *FS) MkdirAll(dir string, perm fs.FileMode) error { return i.inner().MkdirAll(dir, perm) }
+
+// Create implements checkpoint.FS.
+func (i *FS) Create(name string) (checkpoint.File, error) {
+	if i.CreateFault.Trip() {
+		return nil, fmt.Errorf("%w: create %s", ErrInjected, name)
+	}
+	f, err := i.inner().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, fs: i}, nil
+}
+
+// Rename implements checkpoint.FS.
+func (i *FS) Rename(oldpath, newpath string) error {
+	if i.RenameFault.Trip() {
+		return fmt.Errorf("%w: rename %s", ErrInjected, newpath)
+	}
+	return i.inner().Rename(oldpath, newpath)
+}
+
+// Remove implements checkpoint.FS.
+func (i *FS) Remove(name string) error { return i.inner().Remove(name) }
+
+// ReadDir implements checkpoint.FS.
+func (i *FS) ReadDir(dir string) ([]fs.DirEntry, error) { return i.inner().ReadDir(dir) }
+
+// ReadFile implements checkpoint.FS.
+func (i *FS) ReadFile(name string) ([]byte, error) { return i.inner().ReadFile(name) }
+
+// SyncDir implements checkpoint.FS.
+func (i *FS) SyncDir(dir string) error { return i.inner().SyncDir(dir) }
+
+// faultFile applies the write-path fuses of its FS to one open file.
+type faultFile struct {
+	checkpoint.File
+	fs *FS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.WriteFault.Trip() {
+		return 0, fmt.Errorf("%w: write", ErrInjected)
+	}
+	if f.fs.ShortWrite.Trip() {
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrNoSpace
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.SyncFault.Trip() {
+		return fmt.Errorf("%w: fsync", ErrInjected)
+	}
+	return f.File.Sync()
+}
+
+// PoisonObjective wraps obj so the evaluation on which fuse fires returns
+// value (typically NaN or ±Inf) and fills the gradient with it — a
+// numerically exploding training step, injected deterministically.
+func PoisonObjective(obj optimize.Objective, fuse *Fuse, value float64) optimize.Objective {
+	return optimize.ObjectiveFunc(func(x, grad []float64) float64 {
+		if fuse.Trip() {
+			for i := range grad {
+				grad[i] = value
+			}
+			return value
+		}
+		return obj.Eval(x, grad)
+	})
+}
+
+// NaN is a convenience for PoisonObjective's value argument.
+func NaN() float64 { return math.NaN() }
+
+// Killer is an optimize.Trace that cancels its context — with ErrInjected
+// as the cause — the moment restart Restart reaches iteration Iter. It is
+// the in-process stand-in for a worker or whole process dying mid-run:
+// every in-flight optimizer stops within one iteration, exactly like the
+// SIGTERM path. Events can be forwarded to an inner Trace.
+type Killer struct {
+	Restart int
+	Iter    int
+	Inner   optimize.Trace
+
+	cancel context.CancelCauseFunc
+	once   sync.Once
+	fired  atomic.Bool
+}
+
+// NewKiller derives a cancellable context from ctx and returns a Killer
+// bound to it. Pass the Killer as the run's Trace and the context to
+// FitContext.
+func NewKiller(ctx context.Context, restart, iter int) (*Killer, context.Context) {
+	kctx, cancel := context.WithCancelCause(ctx)
+	return &Killer{Restart: restart, Iter: iter, cancel: cancel}, kctx
+}
+
+// Fired reports whether the kill point was reached.
+func (k *Killer) Fired() bool { return k.fired.Load() }
+
+// RestartStart implements optimize.Trace.
+func (k *Killer) RestartStart(r int) {
+	if k.Inner != nil {
+		k.Inner.RestartStart(r)
+	}
+}
+
+// Iteration implements optimize.Trace.
+func (k *Killer) Iteration(r int, it optimize.Iteration) {
+	if k.Inner != nil {
+		k.Inner.Iteration(r, it)
+	}
+	if r == k.Restart && it.Iter >= k.Iter {
+		k.once.Do(func() {
+			k.fired.Store(true)
+			k.cancel(fmt.Errorf("%w: killed at restart %d iteration %d", ErrInjected, r, it.Iter))
+		})
+	}
+}
+
+// RestartEnd implements optimize.Trace.
+func (k *Killer) RestartEnd(r int, res optimize.Result, err error) {
+	if k.Inner != nil {
+		k.Inner.RestartEnd(r, res, err)
+	}
+}
+
+// Truncate returns the first n bytes of data (a torn tail-truncated
+// file). n past the end returns data unchanged.
+func Truncate(data []byte, n int) []byte {
+	if n >= len(data) {
+		n = len(data)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return append([]byte(nil), data[:n]...)
+}
+
+// FlipBit returns data with one bit inverted (bit index taken modulo the
+// total bit count) — a single-event upset on disk.
+func FlipBit(data []byte, bit int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	if bit < 0 {
+		bit = -bit
+	}
+	bit %= len(out) * 8
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}

@@ -1,0 +1,136 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFuseOneShot(t *testing.T) {
+	f := NewFuse(3)
+	got := []bool{f.Trip(), f.Trip(), f.Trip(), f.Trip(), f.Trip()}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("one-shot NewFuse(3) trip pattern %v, want %v", got, want)
+		}
+	}
+	if f.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", f.Count())
+	}
+}
+
+func TestFuseSticky(t *testing.T) {
+	f := NewStickyFuse(2)
+	got := []bool{f.Trip(), f.Trip(), f.Trip(), f.Trip()}
+	want := []bool{false, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sticky NewStickyFuse(2) trip pattern %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFuseNeverFires(t *testing.T) {
+	var nilFuse *Fuse
+	for i := 0; i < 3; i++ {
+		if nilFuse.Trip() {
+			t.Fatal("nil fuse fired")
+		}
+		if NewFuse(0).Trip() {
+			t.Fatal("zero fuse fired")
+		}
+	}
+}
+
+func TestFuseConcurrentOneShot(t *testing.T) {
+	f := NewFuse(50)
+	var wg sync.WaitGroup
+	fired := make(chan int, 100)
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if f.Trip() {
+					fired <- 1
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for range fired {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("one-shot fuse fired %d times under contention, want exactly 1", n)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := Schedule(42, 16, 100)
+	b := Schedule(42, 16, 100)
+	if len(a) != 16 {
+		t.Fatalf("len = %d, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Schedule not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 1 || a[i] > 100 {
+			t.Fatalf("Schedule[%d] = %d out of [1, 100]", i, a[i])
+		}
+	}
+	c := Schedule(43, 16, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestTruncateAndFlipBitDoNotAlias(t *testing.T) {
+	orig := []byte{0xff, 0x00, 0xab}
+	keep := append([]byte(nil), orig...)
+
+	tr := Truncate(orig, 2)
+	if !bytes.Equal(tr, orig[:2]) {
+		t.Fatalf("Truncate = %x", tr)
+	}
+	tr[0] = 0
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("Truncate aliased its input")
+	}
+	if got := Truncate(orig, 99); !bytes.Equal(got, orig) {
+		t.Fatalf("over-long Truncate = %x", got)
+	}
+
+	fl := FlipBit(orig, 9) // bit 1 of byte 1
+	if fl[1] != 0x02 || fl[0] != 0xff || fl[2] != 0xab {
+		t.Fatalf("FlipBit = %x", fl)
+	}
+	fl[2] = 0
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("FlipBit aliased its input")
+	}
+	// Out-of-range bit indices wrap modulo the total bit count.
+	if got, want := FlipBit(orig, len(orig)*8+5), FlipBit(orig, 5); !bytes.Equal(got, want) {
+		t.Fatalf("wrapped FlipBit = %x, want %x", got, want)
+	}
+	if got := FlipBit(nil, 3); len(got) != 0 {
+		t.Fatalf("FlipBit(nil) = %x", got)
+	}
+}
+
+func TestErrorsAreInjected(t *testing.T) {
+	if !errors.Is(ErrNoSpace, ErrInjected) {
+		t.Fatal("ErrNoSpace does not wrap ErrInjected")
+	}
+}

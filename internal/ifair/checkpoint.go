@@ -1,0 +1,119 @@
+package ifair
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+// fingerprintTable is shared by every fingerprint computation.
+var fingerprintTable = crc64.MakeTable(crc64.ECMA)
+
+// checkpointFingerprint identifies the training problem: every option
+// that influences the fitted model plus the training data itself. Two
+// runs share a fingerprint exactly when an uninterrupted run would
+// produce bit-identical models for both — Workers, RestartWorkers and
+// Trace are deliberately excluded (they never change the result), while
+// Seed and Restarts are carried separately in the snapshot header.
+func checkpointFingerprint(x *mat.Dense, o *Options) string {
+	h := crc64.New(fingerprintTable)
+	fmt.Fprintf(h, "ifair|k=%d|lambda=%g|mu=%g|prot=%v|init=%d|pinit=%d|nearzero=%g|fair=%d|pairs=%d|p=%g|root=%t|kernel=%d|numgrad=%t|maxiter=%d|gd=%t|",
+		o.K, o.Lambda, o.Mu, o.Protected, o.Init, o.ProtoInit, o.NearZero,
+		o.Fairness, o.PairSamples, o.P, o.TakeRoot, o.Kernel,
+		o.ForceNumericalGradient, o.MaxIterations, o.UseGradientDescent)
+	m, n := x.Dims()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m)<<32|uint64(uint32(n)))
+	h.Write(buf[:])
+	for _, v := range x.Data() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// packModel flattens a fitted model's learnable parameters — α followed
+// by the row-major prototypes — into the vector a checkpoint record
+// stores. Storing the model's own parameters (rather than the optimizer's
+// packed θ) makes the replayed model bit-identical by construction.
+func packModel(m *Model) []float64 {
+	out := make([]float64, 0, len(m.Alpha)+len(m.Prototypes.Data()))
+	out = append(out, m.Alpha...)
+	return append(out, m.Prototypes.Data()...)
+}
+
+// unpackModel rebuilds a model from a checkpoint record's vector. It
+// returns nil when the vector does not match the run's dimensions — the
+// caller then re-runs the restart instead of trusting a bogus record.
+func unpackModel(x []float64, n int, opts *Options) *Model {
+	k := opts.K
+	if len(x) != n+k*n {
+		return nil
+	}
+	protos := mat.NewDense(k, n)
+	copy(protos.Data(), x[n:])
+	return &Model{
+		Prototypes: protos,
+		Alpha:      append([]float64(nil), x[:n]...),
+		P:          opts.P,
+		TakeRoot:   opts.TakeRoot,
+		Kernel:     opts.Kernel,
+	}
+}
+
+// ckptLedger adapts a checkpoint.Manager to optimize.RestartLedger for
+// one FitContext call: Lookup replays finished restarts into the models
+// slice, Record persists restarts the moment they finish here. Lookup
+// and Record are called from the restart pool's goroutines; each restart
+// index is touched by exactly one goroutine and the manager itself is
+// concurrency-safe, so no extra locking is needed.
+type ckptLedger struct {
+	mgr    *checkpoint.Manager
+	n      int
+	opts   *Options
+	models []*Model
+	iters  []int
+}
+
+// Lookup implements optimize.RestartLedger.
+func (l *ckptLedger) Lookup(r int) (float64, error, bool) {
+	rec, ok := l.mgr.Completed(r)
+	if !ok {
+		return 0, nil, false
+	}
+	if rec.Failed {
+		l.mgr.Logf("restart %d: replaying recorded failure: %s", r, rec.Error)
+		return math.NaN(), errors.New(rec.Error), true
+	}
+	model := unpackModel(rec.X, l.n, l.opts)
+	if model == nil {
+		l.mgr.Logf("restart %d: recorded parameters have the wrong shape; re-running", r)
+		return 0, nil, false
+	}
+	model.Loss = rec.Loss
+	l.models[r] = model
+	l.mgr.Logf("restart %d: resumed from checkpoint (loss %g after %d iterations)", r, rec.Loss, rec.Iterations)
+	return rec.Loss, nil, true
+}
+
+// Record implements optimize.RestartLedger.
+func (l *ckptLedger) Record(r int, loss float64, err error) {
+	rec := checkpoint.Restart{
+		Index:      r,
+		Seed:       optimize.RestartSeed(l.opts.Seed, r),
+		Iterations: l.iters[r],
+	}
+	if err != nil {
+		rec.Failed, rec.Error = true, err.Error()
+	} else {
+		rec.Loss = loss
+		rec.X = packModel(l.models[r])
+	}
+	l.mgr.FinishRestart(rec)
+}

@@ -46,6 +46,11 @@ func Fit(x *mat.Dense, opts Options) (*Model, error) {
 // restart fails (the per-restart errors joined).
 //
 // opts.Trace receives restart start/end and per-iteration events.
+//
+// opts.Checkpoint makes the fit crash-safe: each finished restart is
+// persisted immediately and a later call with the same problem resumes —
+// skipping persisted restarts and re-running interrupted ones from their
+// derived seeds — to a model bit-identical to an uninterrupted run's.
 func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error) {
 	m, n := x.Dims()
 	if m == 0 || n == 0 {
@@ -63,8 +68,17 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 	base := newObjective(x, opts, rand.New(rand.NewSource(opts.Seed)))
 
 	models := make([]*Model, opts.Restarts)
+	iters := make([]int, opts.Restarts)
 	trace := opts.Trace
-	best, err := optimize.Restarts(ctx, opts.Restarts, opts.RestartWorkers,
+	ckpt := opts.Checkpoint
+	var ledger optimize.RestartLedger
+	if ckpt != nil {
+		if _, err := ckpt.Begin(opts.Seed, opts.Restarts, checkpointFingerprint(x, &opts)); err != nil {
+			return nil, err
+		}
+		ledger = &ckptLedger{mgr: ckpt, n: n, opts: &opts, models: models, iters: iters}
+	}
+	best, err := optimize.RestartsLedger(ctx, opts.Restarts, opts.RestartWorkers, ledger,
 		func(ctx context.Context, r int) (float64, error) {
 			if trace != nil {
 				trace.RestartStart(r)
@@ -79,6 +93,11 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 				MaxIterations: opts.MaxIterations,
 				GradTol:       1e-5,
 				Callback:      optimize.ContextCallback(ctx, trace, r),
+			}
+			if ckpt != nil {
+				settings.Snapshot = func(it optimize.Iteration, xcur []float64) {
+					ckpt.Observe(r, it.Iter, it.F, xcur)
+				}
 			}
 			var res optimize.Result
 			var err error
@@ -101,6 +120,7 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 			model := modelFromTheta(res.X, n, opts)
 			model.Loss = res.F
 			models[r] = model
+			iters[r] = res.Iterations
 			return res.F, nil
 		})
 	if err != nil {

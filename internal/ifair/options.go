@@ -14,6 +14,8 @@ package ifair
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/checkpoint"
 )
 
 // InitStrategy selects how the attribute-weight vector α is initialised,
@@ -171,6 +173,16 @@ type Options struct {
 	// one event per optimizer iteration. With RestartWorkers > 1 it is
 	// called from multiple goroutines and must be safe for concurrent use.
 	Trace Trace
+	// Checkpoint, when non-nil, makes FitContext crash-safe: finished
+	// restarts are persisted to the manager's directory the moment they
+	// complete (with periodic in-flight snapshots in between), and a
+	// later FitContext with the same data, options and seed skips them,
+	// producing a model bit-identical to an uninterrupted run. A
+	// checkpoint recorded for different data, options or seed is
+	// detected by fingerprint and ignored (or rejected, if the manager
+	// is strict). Snapshot write failures degrade durability only —
+	// training itself never fails because a disk did.
+	Checkpoint *checkpoint.Manager
 	// MaxIterations bounds L-BFGS iterations per restart. Default 150.
 	MaxIterations int
 	// UseGradientDescent switches the optimiser from L-BFGS to plain

@@ -68,6 +68,26 @@ func ContextCallback(ctx context.Context, trace Trace, restart int) func(Iterati
 	}
 }
 
+// RestartLedger is the durable memory of a multi-restart run, letting a
+// resumed fit skip work a previous (crashed or killed) process already
+// finished. Because each restart is a pure function of its derived seed,
+// replaying recorded outcomes and re-running the rest yields the same
+// winner — bit-identical — as an uninterrupted run.
+//
+// With parallel restarts, Lookup and Record are called from multiple
+// goroutines (at most once each per restart index); implementations must
+// be safe for concurrent use.
+type RestartLedger interface {
+	// Lookup returns the recorded outcome of restart r: its final loss,
+	// its error if it failed, and done=true when a record exists (the
+	// restart is then skipped, the recorded outcome standing in for it).
+	Lookup(r int) (loss float64, err error, done bool)
+	// Record stores the outcome of restart r after it ran to completion
+	// in this process. It is not called for restarts cut short by
+	// context cancellation — an interrupted restart is re-run on resume.
+	Record(r int, loss float64, err error)
+}
+
 // Restarts runs fn(ctx, r) for every restart index r in [0, n) on a
 // bounded pool of min(workers, n) goroutines (workers ≤ 1 runs serially on
 // the calling goroutine) and returns the index of the restart with the
@@ -83,6 +103,16 @@ func ContextCallback(ctx context.Context, trace Trace, restart int) func(Iterati
 // not started are skipped, and if any restart was cut short the run
 // reports ctx.Err() rather than a winner chosen from partial work.
 func Restarts(ctx context.Context, n, workers int, fn func(ctx context.Context, restart int) (loss float64, err error)) (best int, err error) {
+	return RestartsLedger(ctx, n, workers, nil, fn)
+}
+
+// RestartsLedger is Restarts with crash-safe persistence: restarts the
+// ledger already holds are skipped (their recorded loss competing for the
+// win exactly as a fresh result would), and every restart that finishes
+// here — successfully or with its own error — is recorded. Cancelled
+// restarts are not recorded, so a killed run resumes them from scratch.
+// A nil ledger degrades to plain Restarts.
+func RestartsLedger(ctx context.Context, n, workers int, ledger RestartLedger, fn func(ctx context.Context, restart int) (loss float64, err error)) (best int, err error) {
 	if n <= 0 {
 		n = 1
 	}
@@ -93,7 +123,16 @@ func Restarts(ctx context.Context, n, workers int, fn func(ctx context.Context, 
 			errs[r] = err
 			return
 		}
+		if ledger != nil {
+			if loss, lerr, done := ledger.Lookup(r); done {
+				losses[r], errs[r] = loss, lerr
+				return
+			}
+		}
 		losses[r], errs[r] = fn(ctx, r)
+		if ledger != nil && !(errs[r] != nil && ctx.Err() != nil) {
+			ledger.Record(r, losses[r], errs[r])
+		}
 	}
 	// Each restart writes only its own losses[r]/errs[r] cell and the
 	// winner scan below visits cells in ascending index order, so the

@@ -1,0 +1,306 @@
+// Fault-injection tests for the optimizer substrate. These live in an
+// external test package because internal/faultinject imports
+// internal/optimize (for RestartSeed and the Trace interface).
+package optimize_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/optimize"
+)
+
+// sphere is a well-behaved convex objective: f(x) = Σ x_i², ∇f = 2x.
+var sphere = optimize.ObjectiveFunc(func(x, grad []float64) float64 {
+	var f float64
+	for i, v := range x {
+		f += v * v
+		grad[i] = 2 * v
+	}
+	return f
+})
+
+func assertFinite(t *testing.T, x []float64) {
+	t.Helper()
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("returned X[%d] = %v is not finite", i, v)
+		}
+	}
+}
+
+func TestGradientDescentDivergedOnStickyNaN(t *testing.T) {
+	// From the 3rd evaluation on, every evaluation explodes — the iterates
+	// can never get back to finite territory, so the run must stop with
+	// Diverged and hand back the last finite point.
+	obj := faultinject.PoisonObjective(sphere, faultinject.NewStickyFuse(3), faultinject.NaN())
+	res, err := optimize.GradientDescent(obj, []float64{3, -2}, optimize.Settings{MaxIterations: 50})
+	if err != nil {
+		t.Fatalf("GradientDescent: %v", err)
+	}
+	if res.Status != optimize.Diverged {
+		t.Fatalf("Status = %v, want Diverged", res.Status)
+	}
+	assertFinite(t, res.X)
+	if math.IsNaN(res.F) || math.IsInf(res.F, 0) {
+		t.Fatalf("returned F = %v is not finite", res.F)
+	}
+}
+
+func TestGradientDescentDivergedOnStickyInf(t *testing.T) {
+	for _, inf := range []float64{math.Inf(1), math.Inf(-1)} {
+		obj := faultinject.PoisonObjective(sphere, faultinject.NewStickyFuse(2), inf)
+		res, err := optimize.GradientDescent(obj, []float64{1.5}, optimize.Settings{MaxIterations: 50})
+		if err != nil {
+			t.Fatalf("GradientDescent(inf=%v): %v", inf, err)
+		}
+		// −Inf is the treacherous case: it passes any naive decrease test.
+		if res.Status != optimize.Diverged {
+			t.Fatalf("inf=%v: Status = %v, want Diverged", inf, res.Status)
+		}
+		assertFinite(t, res.X)
+	}
+}
+
+func TestGradientDescentNonFiniteInitialPoint(t *testing.T) {
+	obj := faultinject.PoisonObjective(sphere, faultinject.NewFuse(1), faultinject.NaN())
+	res, err := optimize.GradientDescent(obj, []float64{1, 2}, optimize.Settings{MaxIterations: 10})
+	if err == nil {
+		t.Fatal("want error for non-finite initial objective")
+	}
+	if res.Status != optimize.Diverged {
+		t.Fatalf("Status = %v, want Diverged", res.Status)
+	}
+}
+
+func TestGradientDescentRecoversFromTransientFault(t *testing.T) {
+	// A single poisoned evaluation — a one-shot fuse — must not kill the
+	// run: the line search backs off, re-evaluates cleanly and converges.
+	obj := faultinject.PoisonObjective(sphere, faultinject.NewFuse(2), faultinject.NaN())
+	res, err := optimize.GradientDescent(obj, []float64{3, -2}, optimize.Settings{MaxIterations: 200})
+	if err != nil {
+		t.Fatalf("GradientDescent: %v", err)
+	}
+	if res.Status != optimize.Converged && res.Status != optimize.SmallImprovement {
+		t.Fatalf("Status = %v, want convergence despite the transient fault", res.Status)
+	}
+	assertFinite(t, res.X)
+}
+
+func TestGradientDescentPoisonedGradientKeepsLastFinitePoint(t *testing.T) {
+	// The function value stays finite and acceptable while the gradient is
+	// NaN — the subtle poisoning that, if accepted, would corrupt every
+	// later iterate. The run must stop at the previous point.
+	// Eval 1 is the initial point; from eval 2 on — every line-search
+	// trial — the gradient is poisoned, so the first accepted step hits it.
+	fuse := faultinject.NewStickyFuse(2)
+	obj := optimize.ObjectiveFunc(func(x, grad []float64) float64 {
+		f := sphere.Eval(x, grad)
+		if fuse.Trip() {
+			for i := range grad {
+				grad[i] = math.NaN()
+			}
+		}
+		return f
+	})
+	res, err := optimize.GradientDescent(obj, []float64{2, 1}, optimize.Settings{MaxIterations: 50})
+	if err != nil {
+		t.Fatalf("GradientDescent: %v", err)
+	}
+	if res.Status != optimize.Diverged {
+		t.Fatalf("Status = %v, want Diverged", res.Status)
+	}
+	assertFinite(t, res.X)
+}
+
+func TestSnapshotSinkSeesEveryAcceptedIteration(t *testing.T) {
+	run := func(name string, opt func(optimize.Objective, []float64, optimize.Settings) (optimize.Result, error)) {
+		var iters []int
+		var lastX []float64
+		settings := optimize.Settings{
+			MaxIterations: 40,
+			Snapshot: func(it optimize.Iteration, x []float64) {
+				iters = append(iters, it.Iter)
+				lastX = append(lastX[:0], x...) // must copy, not retain
+			},
+		}
+		res, err := opt(sphere, []float64{4, -3}, settings)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(iters) != res.Iterations {
+			t.Fatalf("%s: snapshot saw %d iterations, optimizer reports %d", name, len(iters), res.Iterations)
+		}
+		for i, it := range iters {
+			if it != i {
+				t.Fatalf("%s: snapshot iteration sequence %v not contiguous", name, iters)
+			}
+		}
+		// The final snapshot is the final iterate.
+		for i := range lastX {
+			if lastX[i] != res.X[i] {
+				t.Fatalf("%s: last snapshot %v != result %v", name, lastX, res.X)
+			}
+		}
+	}
+	run("lbfgs", optimize.LBFGS)
+	run("gd", optimize.GradientDescent)
+}
+
+// fakeLedger records every Lookup/Record for assertion.
+type fakeLedger struct {
+	mu       sync.Mutex
+	done     map[int]float64
+	failed   map[int]error
+	recorded map[int]float64
+	recErrs  map[int]error
+}
+
+func newFakeLedger() *fakeLedger {
+	return &fakeLedger{
+		done: map[int]float64{}, failed: map[int]error{},
+		recorded: map[int]float64{}, recErrs: map[int]error{},
+	}
+}
+
+func (l *fakeLedger) Lookup(r int) (float64, error, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err, ok := l.failed[r]; ok {
+		return math.NaN(), err, true
+	}
+	if loss, ok := l.done[r]; ok {
+		return loss, nil, true
+	}
+	return 0, nil, false
+}
+
+func (l *fakeLedger) Record(r int, loss float64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recorded[r] = loss
+	l.recErrs[r] = err
+}
+
+func TestRestartsLedgerSkipsRecordedAndRecordsFresh(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ledger := newFakeLedger()
+		ledger.done[0] = 5.0
+		ledger.done[2] = 1.0 // the recorded winner
+		ledger.failed[3] = errors.New("recorded failure")
+
+		var mu sync.Mutex
+		ran := map[int]bool{}
+		best, err := optimize.RestartsLedger(context.Background(), 5, workers, ledger,
+			func(_ context.Context, r int) (float64, error) {
+				mu.Lock()
+				ran[r] = true
+				mu.Unlock()
+				return 10 + float64(r), nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if best != 2 {
+			t.Fatalf("workers=%d: best = %d, want recorded restart 2", workers, best)
+		}
+		for _, r := range []int{0, 2, 3} {
+			if ran[r] {
+				t.Fatalf("workers=%d: recorded restart %d re-ran", workers, r)
+			}
+		}
+		for _, r := range []int{1, 4} {
+			if !ran[r] {
+				t.Fatalf("workers=%d: fresh restart %d did not run", workers, r)
+			}
+			if got, ok := ledger.recorded[r]; !ok || got != 10+float64(r) {
+				t.Fatalf("workers=%d: restart %d recorded %v (ok=%v)", workers, r, got, ok)
+			}
+		}
+		for _, r := range []int{0, 2, 3} {
+			if _, ok := ledger.recorded[r]; ok {
+				t.Fatalf("workers=%d: skipped restart %d was re-recorded", workers, r)
+			}
+		}
+	}
+}
+
+func TestRestartsLedgerRecordsFreshFailure(t *testing.T) {
+	ledger := newFakeLedger()
+	boom := errors.New("boom")
+	best, err := optimize.RestartsLedger(context.Background(), 2, 1, ledger,
+		func(_ context.Context, r int) (float64, error) {
+			if r == 0 {
+				return math.NaN(), boom
+			}
+			return 1, nil
+		})
+	if err != nil || best != 1 {
+		t.Fatalf("best=%d err=%v", best, err)
+	}
+	if !errors.Is(ledger.recErrs[0], boom) {
+		t.Fatalf("failure of restart 0 not recorded: %v", ledger.recErrs[0])
+	}
+}
+
+func TestRestartsLedgerDoesNotRecordCancelled(t *testing.T) {
+	ledger := newFakeLedger()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := optimize.RestartsLedger(ctx, 3, 1, ledger,
+		func(ctx context.Context, r int) (float64, error) {
+			if r == 1 {
+				cancel() // dies mid-restart
+				return math.NaN(), ctx.Err()
+			}
+			return float64(r), nil
+		})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if _, ok := ledger.recorded[1]; ok {
+		t.Fatal("cancelled restart 1 was recorded — it must re-run on resume")
+	}
+	if _, ok := ledger.recErrs[1]; ok {
+		t.Fatal("cancelled restart 1 recorded an error")
+	}
+	// Restart 0 finished before the cancel and must be recorded.
+	if got, ok := ledger.recorded[0]; !ok || got != 0 {
+		t.Fatalf("pre-cancel restart 0 recorded %v (ok=%v)", got, ok)
+	}
+}
+
+func TestKillerCancelsAtExactPoint(t *testing.T) {
+	// An ill-conditioned quadratic keeps gradient descent zigzagging for
+	// many iterations, so iteration 5 is guaranteed to be reached.
+	ellipse := optimize.ObjectiveFunc(func(x, grad []float64) float64 {
+		grad[0], grad[1] = x[0], 100*x[1]
+		return 0.5*x[0]*x[0] + 50*x[1]*x[1]
+	})
+	killer, ctx := faultinject.NewKiller(context.Background(), 0, 5)
+	settings := optimize.Settings{
+		MaxIterations: 500,
+		GradTol:       1e-12,
+		Callback:      optimize.ContextCallback(ctx, killer, 0),
+	}
+	res, err := optimize.GradientDescent(ellipse, []float64{1, 1}, settings)
+	if err != nil {
+		t.Fatalf("GradientDescent: %v", err)
+	}
+	if !killer.Fired() {
+		t.Fatal("killer never fired")
+	}
+	if res.Status != optimize.Stopped {
+		t.Fatalf("Status = %v, want Stopped", res.Status)
+	}
+	// Callback-driven stop lands within one iteration of the kill point.
+	if res.Iterations != 6 {
+		t.Fatalf("stopped after %d iterations, want 6 (kill at iter 5)", res.Iterations)
+	}
+	if !errors.Is(context.Cause(ctx), faultinject.ErrInjected) {
+		t.Fatalf("cause = %v, want ErrInjected", context.Cause(ctx))
+	}
+}

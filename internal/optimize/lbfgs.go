@@ -42,6 +42,10 @@ const (
 	// example because a context was cancelled); the best point so far is
 	// returned.
 	Stopped
+	// Diverged means the iterates left the region where the objective is
+	// finite (NaN/Inf function values or gradients). The last finite
+	// point is returned — never the poisoned parameters.
+	Diverged
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +61,8 @@ func (s Status) String() string {
 		return "small improvement"
 	case Stopped:
 		return "stopped by callback"
+	case Diverged:
+		return "diverged to non-finite values"
 	default:
 		return "unknown"
 	}
@@ -89,6 +95,13 @@ type Settings struct {
 	// GradientDescent honour it, so cancellation and tracing work
 	// identically across optimizers.
 	Callback func(Iteration) (stop bool)
+	// Snapshot, when non-nil, is invoked after every accepted outer
+	// iteration — just before Callback — with the iteration's progress
+	// and the current iterate. It is the checkpoint sink: a crash-safe
+	// training run persists x from here. Implementations must not retain
+	// x beyond the call (the optimizer reuses the buffer); copy what you
+	// keep. Both LBFGS and GradientDescent honour it.
+	Snapshot func(it Iteration, x []float64)
 }
 
 func (s *Settings) fill() {
@@ -210,6 +223,11 @@ func LBFGS(obj Objective, x0 []float64, settings Settings) (Result, error) {
 		copy(grad, gNew)
 		f = fNew
 
+		if settings.Snapshot != nil {
+			settings.Snapshot(Iteration{
+				Iter: iter, F: f, GradNorm: infNorm(grad), Step: step, Evals: evals,
+			}, x)
+		}
 		if settings.Callback != nil {
 			stop := settings.Callback(Iteration{
 				Iter: iter, F: f, GradNorm: infNorm(grad), Step: step, Evals: evals,
@@ -228,6 +246,12 @@ func LBFGS(obj Objective, x0 []float64, settings Settings) (Result, error) {
 // GradientDescent minimises obj with a backtracking (Armijo) line search.
 // It exists as the ablation comparator for L-BFGS (BenchmarkAblationOptimizer)
 // and as a simple, robust fallback.
+//
+// Non-finite territory is rejected the same way the L-BFGS path rejects
+// it: a NaN/±Inf function value never passes the acceptance test, a
+// NaN/Inf gradient at an otherwise acceptable point stops the run, and in
+// both cases the result carries the last finite iterate with Status
+// Diverged — poisoned parameters are never returned.
 func GradientDescent(obj Objective, x0 []float64, settings Settings) (Result, error) {
 	settings.fill()
 	n := len(x0)
@@ -242,22 +266,47 @@ func GradientDescent(obj Objective, x0 []float64, settings Settings) (Result, er
 		return obj.Eval(p, g)
 	}
 	f := eval(x, grad)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return Result{X: x, F: f, Status: Diverged, Evals: evals},
+			errors.New("optimize: objective is not finite at the initial point")
+	}
 	xNew := make([]float64, n)
 	gNew := make([]float64, n)
 	step := 1.0
+	result := func(status Status, iter int) Result {
+		return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: iter, Evals: evals, Status: status}
+	}
 	for iter := 0; iter < settings.MaxIterations; iter++ {
 		gn := infNorm(grad)
 		if gn <= settings.GradTol {
-			return Result{X: x, F: f, GradNorm: gn, Iterations: iter, Evals: evals, Status: Converged}, nil
+			return result(Converged, iter), nil
 		}
 		g2 := dot(grad, grad)
 		accepted := false
+		sawNonFinite := false
 		for try := 0; try < 50; try++ {
 			for i := range x {
 				xNew[i] = x[i] - step*grad[i]
 			}
 			fNew := eval(xNew, gNew)
-			if fNew <= f-1e-4*step*g2 && !math.IsNaN(fNew) {
+			if math.IsNaN(fNew) || math.IsInf(fNew, 0) {
+				// The step left the finite region (−Inf included: it
+				// would "improve" every acceptance test while being
+				// garbage). Back off like any other rejected step.
+				sawNonFinite = true
+				step /= 2
+				if step < 1e-18 {
+					break
+				}
+				continue
+			}
+			if fNew <= f-1e-4*step*g2 {
+				if !allFinite(gNew) {
+					// The point looks fine but its gradient is poisoned;
+					// continuing would write NaN into every later
+					// iterate. Keep the last finite point.
+					return result(Diverged, iter), nil
+				}
 				improvement := f - fNew
 				copy(x, xNew)
 				copy(grad, gNew)
@@ -265,16 +314,17 @@ func GradientDescent(obj Objective, x0 []float64, settings Settings) (Result, er
 				accepted = true
 				used := step
 				step *= 1.5
+				it := Iteration{Iter: iter, F: f, GradNorm: infNorm(grad), Step: used, Evals: evals}
+				if settings.Snapshot != nil {
+					settings.Snapshot(it, x)
+				}
 				if settings.Callback != nil {
-					stop := settings.Callback(Iteration{
-						Iter: iter, F: f, GradNorm: infNorm(grad), Step: used, Evals: evals,
-					})
-					if stop {
-						return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: iter + 1, Evals: evals, Status: Stopped}, nil
+					if settings.Callback(it) {
+						return result(Stopped, iter+1), nil
 					}
 				}
 				if improvement <= settings.FuncTol*(1+math.Abs(f)) {
-					return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: iter + 1, Evals: evals, Status: SmallImprovement}, nil
+					return result(SmallImprovement, iter+1), nil
 				}
 				break
 			}
@@ -284,10 +334,24 @@ func GradientDescent(obj Objective, x0 []float64, settings Settings) (Result, er
 			}
 		}
 		if !accepted {
-			return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: iter, Evals: evals, Status: LineSearchFailed}, nil
+			status := LineSearchFailed
+			if sawNonFinite {
+				status = Diverged
+			}
+			return result(status, iter), nil
 		}
 	}
-	return Result{X: x, F: f, GradNorm: infNorm(grad), Iterations: settings.MaxIterations, Evals: evals, Status: MaxIterations}, nil
+	return result(MaxIterations, settings.MaxIterations), nil
+}
+
+// allFinite reports whether every entry of v is finite.
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // wolfeLineSearch finds a step length satisfying the strong Wolfe

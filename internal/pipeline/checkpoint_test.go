@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTradeoffStudyCheckpointDir pins the study-level crash-safety
+// wiring: with CheckpointDir set, every iFair configuration checkpoints
+// into its own per-dataset subdirectory, and a rerun of the identical
+// study replays from those checkpoints with bit-identical results.
+func TestTradeoffStudyCheckpointDir(t *testing.T) {
+	ds := smallCompas()
+	cfg := quickCfg()
+	cfg.CheckpointDir = t.TempDir()
+
+	first, err := TradeoffStudy(ds, cfg)
+	if err != nil {
+		t.Fatalf("first study: %v", err)
+	}
+
+	// One checkpoint directory per (dataset, variant, configuration),
+	// each holding at least one snapshot.
+	dirs, err := filepath.Glob(filepath.Join(cfg.CheckpointDir, ds.Name, "iFair-*"))
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no per-configuration checkpoint dirs under %s (err %v)", cfg.CheckpointDir, err)
+	}
+	for _, d := range dirs {
+		snaps, _ := filepath.Glob(filepath.Join(d, "snap-*.ckpt"))
+		if len(snaps) == 0 {
+			t.Fatalf("checkpoint dir %s holds no snapshots", d)
+		}
+	}
+
+	second, err := TradeoffStudy(ds, cfg)
+	if err != nil {
+		t.Fatalf("rerun study: %v", err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("result counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		if a.Method != b.Method || a.Params != b.Params {
+			t.Fatalf("result %d identity differs: %s/%s vs %s/%s", i, a.Method, a.Params, b.Method, b.Params)
+		}
+		if a.AUC != b.AUC || a.YNN != b.YNN || a.ValidAUC != b.ValidAUC || a.ValidYNN != b.ValidYNN {
+			t.Fatalf("result %d (%s %s) not bit-identical on rerun: AUC %v/%v yNN %v/%v",
+				i, a.Method, a.Params, a.AUC, b.AUC, a.YNN, b.YNN)
+		}
+	}
+}
+
+// TestTradeoffStudyCheckpointDirUnwritable surfaces setup errors instead
+// of silently training without durability.
+func TestTradeoffStudyCheckpointDirUnwritable(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	base := t.TempDir()
+	if err := os.Chmod(base, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(base, 0o700) })
+	cfg := quickCfg()
+	cfg.CheckpointDir = filepath.Join(base, "ckpt")
+	if _, err := TradeoffStudy(smallCompas(), cfg); err == nil {
+		t.Fatal("unwritable checkpoint dir reported no error")
+	}
+}

@@ -3,8 +3,10 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dataset"
 	"repro/internal/ifair"
 	"repro/internal/lfr"
@@ -45,6 +47,13 @@ type StudyConfig struct {
 	// configurations — with Parallel > 1 concurrently — so implementations
 	// must be safe for concurrent use.
 	Trace optimize.Trace
+	// CheckpointDir, when non-empty, makes every iFair fit in the grid
+	// crash-safe: each (dataset, variant, λ, µ, K) configuration
+	// checkpoints into its own subdirectory, so a killed study rerun with
+	// the same config skips every configuration and restart that already
+	// finished and produces bit-identical results. Long grid searches are
+	// exactly where crashes hurt the most.
+	CheckpointDir string
 }
 
 // PaperStudyConfig mirrors Sec. V-B: mixture coefficients from
@@ -188,7 +197,21 @@ func TradeoffStudyContext(ctx context.Context, ds *dataset.Dataset, cfg StudyCon
 	}
 	for _, variant := range []ifair.InitStrategy{ifair.InitRandom, ifair.InitMaskedProtected} {
 		for _, opts := range cfg.iFairConfigs(variant) {
-			add(&IFairRep{Opts: opts}, fmt.Sprintf("l=%g,m=%g,K=%d", opts.Lambda, opts.Mu, opts.K))
+			params := fmt.Sprintf("l=%g,m=%g,K=%d", opts.Lambda, opts.Mu, opts.K)
+			if cfg.CheckpointDir != "" {
+				// One directory per (dataset, variant, configuration):
+				// concurrent configurations never share snapshot files, and
+				// a rerun of the same study maps every fit back to its own
+				// checkpoint.
+				dir := filepath.Join(cfg.CheckpointDir, ds.Name,
+					fmt.Sprintf("%s-%s", variant, params))
+				mgr, err := checkpoint.Open(checkpoint.Config{Dir: dir})
+				if err != nil {
+					return nil, fmt.Errorf("pipeline: checkpoint dir for %s %s: %w", variant, params, err)
+				}
+				opts.Checkpoint = mgr
+			}
+			add(&IFairRep{Opts: opts}, params)
 		}
 	}
 

@@ -54,6 +54,10 @@ type Info struct {
 type Registry struct {
 	dir string
 
+	// failures counts model files that failed to (re)load; exported to
+	// /metrics as registry_reload_failures via SetFailureCounter.
+	failures *Counter
+
 	mu     sync.RWMutex
 	models map[string][]*Entry // name → entries sorted by ascending version
 }
@@ -61,8 +65,16 @@ type Registry struct {
 // NewRegistry returns an empty registry rooted at dir. Call Reload to
 // populate it.
 func NewRegistry(dir string) *Registry {
-	return &Registry{dir: dir, models: make(map[string][]*Entry)}
+	return &Registry{dir: dir, failures: &Counter{}, models: make(map[string][]*Entry)}
 }
+
+// SetFailureCounter redirects the reload-failure count to c (typically a
+// counter registered in a Metrics table). Call before the first Reload.
+func (r *Registry) SetFailureCounter(c *Counter) { r.failures = c }
+
+// ReloadFailures returns how many file loads have failed across all
+// reloads so far.
+func (r *Registry) ReloadFailures() int64 { return r.failures.Value() }
 
 // parseModelFileName splits "credit@v3.json" into ("credit", 3) and
 // "credit.json" into ("credit", 1). Non-model files return ok=false.
@@ -89,9 +101,11 @@ func parseModelFileName(base string) (name string, version int, ok bool) {
 }
 
 // Reload rescans the model directory and swaps in the new table. Files
-// that fail to load are skipped and reported in the joined error; models
-// that do load are still served, so one corrupt file cannot take down
-// the rest of the registry.
+// that fail to load are reported in the joined error and counted in
+// registry_reload_failures, but never take a working model out of
+// service: if the file was loaded before — say a hot redeploy truncated
+// it mid-write — the last good version keeps serving; if it never
+// loaded, the rest of the registry still does.
 func (r *Registry) Reload() (loaded, reused int, err error) {
 	dirEntries, derr := os.ReadDir(r.dir)
 	if derr != nil {
@@ -121,6 +135,7 @@ func (r *Registry) Reload() (loaded, reused int, err error) {
 		path := filepath.Join(r.dir, de.Name())
 		fi, ferr := de.Info()
 		if ferr != nil {
+			r.failures.Inc()
 			errs = append(errs, ferr)
 			continue
 		}
@@ -131,6 +146,17 @@ func (r *Registry) Reload() (loaded, reused int, err error) {
 		}
 		model, lerr := ifair.LoadModelFile(path)
 		if lerr != nil {
+			r.failures.Inc()
+			if old, ok := prev[path]; ok {
+				// The file turned bad under us (truncated redeploy, torn
+				// write): keep serving the entry we already validated
+				// rather than dropping a live model. Its stale modTime/size
+				// make the next reload retry the file.
+				next[name] = append(next[name], old)
+				reused++
+				errs = append(errs, fmt.Errorf("%w (still serving the previously loaded version)", lerr))
+				continue
+			}
 			errs = append(errs, lerr)
 			continue
 		}

@@ -259,3 +259,79 @@ func TestRegistryWatchReloads(t *testing.T) {
 	cancel()
 	<-done
 }
+
+// TestRegistryKeepsLastGoodOnCorruptReload is the hot-reload regression
+// test: a model that loaded once must keep serving even when its file is
+// later truncated mid-redeploy, and the failure must be counted.
+func TestRegistryKeepsLastGoodOnCorruptReload(t *testing.T) {
+	dir := t.TempDir()
+	path := writeModelFile(t, dir, "credit@v2.json", testModel(3, 4))
+	reg := NewRegistry(dir)
+	if _, _, err := reg.Reload(); err != nil {
+		t.Fatalf("initial load: %v", err)
+	}
+	want, ok := reg.Get("credit")
+	if !ok {
+		t.Fatal("model not loaded")
+	}
+
+	// Truncate the JSON mid-"redeploy" (also bumps mtime/size, so the
+	// reload cannot take the unchanged-file shortcut).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, reused, err := reg.Reload()
+	if err == nil {
+		t.Fatal("reload of a truncated file reported no error")
+	}
+	if reused != 1 {
+		t.Fatalf("reused = %d, want the last-good entry reused", reused)
+	}
+	got, ok := reg.Get("credit")
+	if !ok {
+		t.Fatal("truncated reload dropped the last good model")
+	}
+	if got != want {
+		t.Fatal("reload replaced the last good entry with something else")
+	}
+	if got.Version != 2 || got.Model.K() != 3 {
+		t.Fatalf("served entry mangled: %+v", got)
+	}
+	if reg.ReloadFailures() != 1 {
+		t.Fatalf("ReloadFailures = %d, want 1", reg.ReloadFailures())
+	}
+
+	// Fixing the file recovers it on the next reload (the kept entry's
+	// stale metadata forces a fresh decode).
+	writeModelFile(t, dir, "credit@v2.json", testModel(3, 4))
+	if _, _, err := reg.Reload(); err != nil {
+		t.Fatalf("reload after repair: %v", err)
+	}
+	if got, _ := reg.Get("credit"); got == want {
+		t.Fatal("repaired file was not re-decoded")
+	}
+}
+
+// TestRegistryCorruptNewFileStillDropped pins the complement: a file that
+// never loaded has no last-good fallback and simply stays out.
+func TestRegistryCorruptNewFileStillDropped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(dir)
+	if _, _, err := reg.Reload(); err == nil {
+		t.Fatal("corrupt new file reported no error")
+	}
+	if _, ok := reg.Get("broken"); ok {
+		t.Fatal("corrupt never-loaded file was served")
+	}
+	if reg.ReloadFailures() != 1 {
+		t.Fatalf("ReloadFailures = %d, want 1", reg.ReloadFailures())
+	}
+}

@@ -79,6 +79,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.batcher = NewBatcher(cfg.MaxBatch, cfg.MaxWait, cfg.Workers,
 		s.metrics.Histogram("ifair_batch_size", batchSizeBuckets))
+	s.registry.SetFailureCounter(s.metrics.Counter("registry_reload_failures"))
 	if _, _, err := s.registry.Reload(); err != nil {
 		if s.registry.Len() == 0 {
 			return nil, fmt.Errorf("server: initial model load: %w", err)

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -361,5 +362,39 @@ func TestRequestTimeoutReturns503(t *testing.T) {
 	resp, body := postJSON(t, ts.URL+"/v1/models/m/transform", rowsRequest{Rows: [][]float64{{1, 2}}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d (%s), want 503 on request timeout", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsReportReloadFailures wires the registry's failure counter
+// through to /metrics: after a truncated hot-reload, the counter must be
+// visible to scrapers while the model keeps serving.
+func TestMetricsReportReloadFailures(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Truncate one model file and reload, as the Watch loop would.
+	e, ok := s.Registry().Get("hiring")
+	if !ok {
+		t.Fatal("hiring model missing")
+	}
+	data, err := os.ReadFile(e.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(e.Path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Registry().Reload(); err == nil {
+		t.Fatal("reload of truncated model reported no error")
+	}
+	if _, ok := s.Registry().Get("hiring"); !ok {
+		t.Fatal("hiring model dropped despite last-good retention")
+	}
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "registry_reload_failures 1") {
+		t.Fatalf("/metrics missing registry_reload_failures 1:\n%s", body)
 	}
 }

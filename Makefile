@@ -4,13 +4,14 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers test-faults race fuzz cover bench bench-fit experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults test-overload loadgen race fuzz cover bench bench-fit experiments examples serve fmt vet clean
 
-# vet, race, the widened worker sweep and the crash-safety fault sweep run
-# on every default invocation so the concurrent registry/batcher code in
-# internal/server, the chunked-parallel objective paths and the
-# checkpoint/resume machinery are checked routinely.
-all: build vet test race test-workers test-faults
+# vet, race, the widened worker sweep, the crash-safety fault sweep and
+# the overload soak run on every default invocation so the concurrent
+# registry/batcher code in internal/server, the chunked-parallel
+# objective paths, the checkpoint/resume machinery and the admission/
+# load-shedding path are checked routinely.
+all: build vet test race test-workers test-faults test-overload
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,21 @@ test-faults:
 	IFAIR_TEST_FAULTS=1 $(GO) test -race \
 		./internal/checkpoint/ ./internal/faultinject/ ./internal/optimize/ \
 		./internal/ifair/ ./cmd/ifair/
+
+# Widened overload soak: the serving path at 4× admission capacity with
+# chaotic clients (slow readers, mid-body disconnects), under the race
+# detector, plus the admission-control unit suite.
+test-overload:
+	IFAIR_TEST_OVERLOAD=1 $(GO) test -race \
+		-run 'TestOverload|TestShed|TestQueue|TestBatcher' \
+		./internal/server/ ./internal/admission/
+
+# Closed-loop load-generator smoke test: spins an in-process server over
+# a synthetic model, drives it with bursts for 2 seconds, and fails on
+# zero goodput.
+loadgen:
+	$(GO) run ./cmd/loadgen -selftest -duration 2s -concurrency 24 \
+		-deadline 200ms -bursts 2 -burst-max 3 -min-goodput 1
 
 race:
 	$(GO) test -race ./...

@@ -482,7 +482,7 @@ func BenchmarkServerTransform(b *testing.B) {
 func BenchmarkMicroBatcher(b *testing.B) {
 	model := benchServingModel(10, 17)
 	entry := &server.Entry{Name: "bench", Version: 1, Model: model}
-	batcher := server.NewBatcher(64, 500*time.Microsecond, 2, nil)
+	batcher := server.NewBatcher(server.BatcherConfig{MaxBatch: 64, MaxWait: 500 * time.Microsecond, Workers: 2})
 	row := make([]float64, 17)
 	for j := range row {
 		row[j] = 0.1 * float64(j)

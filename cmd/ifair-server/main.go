@@ -57,6 +57,13 @@ func run() error {
 		drain    = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		maxRows  = flag.Int("max-rows", 10000, "maximum rows per batch request")
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission: concurrent transform/probabilities requests (0 = 8×GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "admission: waiting requests beyond the inflight cap (0 = 2×inflight, negative disables queueing)")
+		queueWait    = flag.Duration("queue-wait", 0, "admission: max time a request may queue before being shed (0 = timeout/2, negative disables)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429/503) responses")
+		flushWorkers = flag.Int("flush-workers", 0, "batcher: flush goroutine pool size (0 = workers)")
+		maxPending   = flag.Int("max-pending", 0, "batcher: pending-row cap per model before shedding (0 = 16×max-batch, negative unlimited)")
 	)
 	flag.Parse()
 	if *models == "" {
@@ -71,6 +78,12 @@ func run() error {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		MaxRows:        *maxRows,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		MaxQueueWait:   *queueWait,
+		RetryAfter:     *retryAfter,
+		FlushWorkers:   *flushWorkers,
+		MaxPending:     *maxPending,
 	})
 	if err != nil {
 		// A partial load (some corrupt files) is survivable; an empty
@@ -117,6 +130,7 @@ func run() error {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
+	s.Close()
 	log.Printf("drained cleanly, bye")
 	return nil
 }

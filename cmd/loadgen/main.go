@@ -1,0 +1,285 @@
+// Command loadgen is a closed-loop load generator for ifair-server: N
+// workers each keep exactly one request in flight against the transform
+// endpoint, with optional seeded burst phases multiplying the offered
+// concurrency, a per-request deadline propagated to the server, and the
+// retrying client from internal/server doing the backoff. At the end it
+// reports goodput, shed rate and exact latency quantiles, and exits
+// non-zero if goodput fell below -min-goodput — so `make loadgen` is a
+// pass/fail overload smoke test, not just a number printer.
+//
+// Usage against a running server:
+//
+//	loadgen -addr http://localhost:8080 -model credit -dims 3 \
+//	        -concurrency 32 -duration 30s -deadline 250ms
+//
+// Or fully self-contained (spins an in-process server over a synthetic
+// model, drives it, and tears it down):
+//
+//	loadgen -selftest -duration 5s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/ifair"
+	"repro/internal/mat"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type report struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+
+	attempts atomic.Int64
+	ok       atomic.Int64
+	shed     atomic.Int64
+	timeout  atomic.Int64
+	errs     atomic.Int64
+}
+
+func (r *report) observe(d time.Duration) {
+	r.mu.Lock()
+	r.latencies = append(r.latencies, d)
+	r.mu.Unlock()
+}
+
+// quantile returns the exact q-quantile of the recorded latencies
+// (nearest-rank); no bucketing, loadgen keeps every sample.
+func (r *report) quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	idx := int(q * float64(len(r.latencies)-1))
+	return r.latencies[idx]
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "", "server base URL, e.g. http://localhost:8080")
+		model       = flag.String("model", "credit", "model name to drive")
+		dims        = flag.Int("dims", 3, "input row width of the model")
+		concurrency = flag.Int("concurrency", 16, "base closed-loop workers (one request in flight each)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		deadline    = flag.Duration("deadline", 500*time.Millisecond, "per-request deadline, propagated to the server")
+		retries     = flag.Int("retries", 2, "retries per request on shed/transport failure")
+		bursts      = flag.Int("bursts", 0, "number of seeded burst phases (0 = steady load)")
+		burstMax    = flag.Int("burst-max", 4, "maximum load multiplier during a burst")
+		seed        = flag.Int64("seed", 1, "seed for the burst schedule (replays exactly)")
+		minGoodput  = flag.Float64("min-goodput", 0, "exit 1 if successful requests/sec falls below this")
+		selftest    = flag.Bool("selftest", false, "spin an in-process server over a synthetic model and drive that")
+	)
+	flag.Parse()
+
+	base := *addr
+	if *selftest {
+		ts, cleanup, err := selftestServer(*model, *dims)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		base = ts.URL
+		fmt.Printf("selftest server on %s (tiny capacity: expect sheds)\n", base)
+	}
+	if base == "" {
+		return fmt.Errorf("specify -addr or -selftest")
+	}
+
+	// One tick per second of runtime; the burst schedule multiplies the
+	// worker count during its phases.
+	horizon := int(duration.Seconds())
+	if horizon < 1 {
+		horizon = 1
+	}
+	schedule := faultinject.Bursts(*seed, *bursts, horizon, 1, horizon/2+1, *burstMax)
+	maxWorkers := *concurrency * maxFactor(schedule)
+
+	row := make([]float64, *dims)
+	for i := range row {
+		row[i] = 0.25 * float64(i+1)
+	}
+
+	rep := &report{}
+	client := &server.Client{
+		BaseURL:    base,
+		HTTPClient: &http.Client{Timeout: 2 * *deadline},
+		MaxRetries: *retries,
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   *deadline,
+		Seed:       *seed,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+
+	// Closed loop: every worker waits for its response before sending
+	// the next request. Burst workers only run while the current tick's
+	// factor admits their index.
+	var wg sync.WaitGroup
+	for w := 0; w < maxWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				tick := int(time.Since(start).Seconds())
+				if w >= *concurrency*faultinject.FactorAt(schedule, tick) {
+					// Outside a burst this worker idles.
+					select {
+					case <-time.After(50 * time.Millisecond):
+					case <-ctx.Done():
+					}
+					continue
+				}
+				rep.attempts.Add(1)
+				reqCtx, reqCancel := context.WithTimeout(ctx, *deadline)
+				t0 := time.Now()
+				_, err := client.Transform(reqCtx, *model, row)
+				reqCancel()
+				switch {
+				case err == nil:
+					rep.ok.Add(1)
+					rep.observe(time.Since(t0))
+				case isShed(err):
+					rep.shed.Add(1)
+				case reqCtx.Err() != nil && ctx.Err() == nil:
+					rep.timeout.Add(1)
+				case ctx.Err() != nil:
+					// Run over; not a failure.
+				default:
+					rep.errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	goodput := float64(rep.ok.Load()) / elapsed.Seconds()
+	attempts := rep.attempts.Load()
+	shedRate := 0.0
+	if attempts > 0 {
+		shedRate = float64(rep.shed.Load()) / float64(attempts)
+	}
+	fmt.Printf("duration        %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("attempts        %d\n", attempts)
+	fmt.Printf("ok              %d (%.1f req/s goodput)\n", rep.ok.Load(), goodput)
+	fmt.Printf("shed            %d (%.1f%% of attempts)\n", rep.shed.Load(), 100*shedRate)
+	fmt.Printf("deadline-expired %d\n", rep.timeout.Load())
+	fmt.Printf("errors          %d\n", rep.errs.Load())
+	fmt.Printf("latency p50     %v\n", rep.quantile(0.50).Round(time.Microsecond))
+	fmt.Printf("latency p90     %v\n", rep.quantile(0.90).Round(time.Microsecond))
+	fmt.Printf("latency p99     %v\n", rep.quantile(0.99).Round(time.Microsecond))
+	st := client.Stats()
+	fmt.Printf("client          %d round trips, %d retries, %d sheds seen\n", st.Requests, st.Retries, st.Shed)
+	if len(schedule) > 0 {
+		fmt.Printf("bursts          %+v\n", schedule)
+	}
+
+	if rep.errs.Load() > 0 && rep.ok.Load() == 0 {
+		return fmt.Errorf("every request errored; is the server up and the model name right?")
+	}
+	if *minGoodput > 0 && goodput < *minGoodput {
+		return fmt.Errorf("goodput %.1f req/s below -min-goodput %.1f", goodput, *minGoodput)
+	}
+	return nil
+}
+
+func maxFactor(bursts []faultinject.Burst) int {
+	f := 1
+	for _, b := range bursts {
+		if b.Factor > f {
+			f = b.Factor
+		}
+	}
+	return f
+}
+
+// isShed reports whether err is a shed the server told us about
+// (already retried by the client, so reaching here means the retry
+// budget is spent).
+func isShed(err error) bool {
+	var se *server.StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
+}
+
+// selftestServer builds a synthetic model in a temp dir and serves it
+// with deliberately tiny capacity so sheds actually happen.
+func selftestServer(name string, dims int) (*httptest.Server, func(), error) {
+	dir, err := os.MkdirTemp("", "loadgen-selftest-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanupDir := func() { os.RemoveAll(dir) }
+
+	protos := mat.NewDense(4, dims)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < dims; j++ {
+			protos.Set(i, j, float64(i)+0.1*float64(j))
+		}
+	}
+	alpha := make([]float64, dims)
+	for j := range alpha {
+		alpha[j] = 1
+	}
+	m := &ifair.Model{Prototypes: protos, Alpha: alpha, P: 2, Kernel: ifair.ExpKernel, Loss: 0.5}
+	f, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		cleanupDir()
+		return nil, nil, err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		cleanupDir()
+		return nil, nil, err
+	}
+	if err := f.Close(); err != nil {
+		cleanupDir()
+		return nil, nil, err
+	}
+
+	s, err := server.New(server.Config{
+		ModelDir:       dir,
+		MaxBatch:       8,
+		MaxWait:        2 * time.Millisecond,
+		RequestTimeout: 250 * time.Millisecond,
+		MaxInflight:    4,
+		MaxQueue:       8,
+		MaxQueueWait:   30 * time.Millisecond,
+	})
+	if err != nil {
+		cleanupDir()
+		return nil, nil, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	cleanup := func() {
+		ts.Close()
+		s.Close()
+		cleanupDir()
+	}
+	return ts, cleanup, nil
+}

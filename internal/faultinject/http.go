@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/optimize"
+)
+
+// ErrDisconnect is the injected mid-body client disconnect; it wraps
+// ErrInjected so tests can match either the specific or the generic
+// fault.
+var ErrDisconnect = fmt.Errorf("%w: client disconnected mid-body", ErrInjected)
+
+// SlowReader drips an underlying reader out in small chunks with a pause
+// before each one — a slow or congested client uploading a request body.
+// It is the HTTP-chaos analogue of the FS fuses: fully deterministic,
+// no randomness of its own.
+type SlowReader struct {
+	// R is the wrapped reader.
+	R io.Reader
+	// Chunk is the per-Read byte cap (minimum 1).
+	Chunk int
+	// Delay is the pause before each chunk.
+	Delay time.Duration
+}
+
+func (s *SlowReader) Read(p []byte) (int, error) {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	chunk := s.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	return s.R.Read(p)
+}
+
+// DisconnectReader yields the first N bytes of the wrapped reader and
+// then fails with ErrDisconnect — a client whose connection drops
+// mid-body. The server sees a read error on the request body, the
+// canonical trigger for half-written request handling.
+type DisconnectReader struct {
+	// R is the wrapped reader.
+	R io.Reader
+	// N is how many bytes flow before the disconnect.
+	N int
+
+	read int
+}
+
+func (d *DisconnectReader) Read(p []byte) (int, error) {
+	if d.read >= d.N {
+		return 0, ErrDisconnect
+	}
+	if rem := d.N - d.read; len(p) > rem {
+		p = p[:rem]
+	}
+	n, err := d.R.Read(p)
+	d.read += n
+	if err == io.EOF && d.read >= d.N {
+		// The payload ran out exactly at the cut point; still surface
+		// the disconnect rather than a clean EOF.
+		err = ErrDisconnect
+	}
+	return n, err
+}
+
+// Burst is one phase of a load schedule: for Len ticks, offered load is
+// multiplied by Factor.
+type Burst struct {
+	// Start is the tick at which the burst begins.
+	Start int
+	// Len is the burst duration in ticks (≥ 1).
+	Len int
+	// Factor multiplies the base offered load during the burst (≥ 1).
+	Factor int
+}
+
+// Bursts derives n non-overlapping burst phases across [0, horizon)
+// ticks from a seed, using the same splitmix64 mixing as Schedule, so a
+// load test's traffic shape is replayed exactly by reusing the seed.
+// Each burst lasts between minLen and maxLen ticks and multiplies load
+// by 2..maxFactor.
+func Bursts(seed int64, n, horizon, minLen, maxLen, maxFactor int) []Burst {
+	if n < 1 || horizon < 1 {
+		return nil
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	if maxFactor < 2 {
+		maxFactor = 2
+	}
+	// Slice the horizon into n equal windows and place one burst inside
+	// each, so bursts never overlap regardless of the seed.
+	window := horizon / n
+	if window < 1 {
+		window = 1
+	}
+	out := make([]Burst, 0, n)
+	for i := 0; i < n; i++ {
+		z := uint64(optimize.RestartSeed(seed, i+1))
+		length := minLen + int(z%uint64(maxLen-minLen+1))
+		if length > window {
+			length = window
+		}
+		slack := window - length
+		start := i * window
+		if slack > 0 {
+			start += int((z >> 16) % uint64(slack+1))
+		}
+		factor := 2 + int((z>>32)%uint64(maxFactor-1))
+		out = append(out, Burst{Start: start, Len: length, Factor: factor})
+	}
+	return out
+}
+
+// FactorAt returns the load multiplier at a tick: the burst factor if
+// the tick falls inside a burst, 1 otherwise.
+func FactorAt(bursts []Burst, tick int) int {
+	for _, b := range bursts {
+		if tick >= b.Start && tick < b.Start+b.Len {
+			return b.Factor
+		}
+	}
+	return 1
+}

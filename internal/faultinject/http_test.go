@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowReaderDeliversEverything(t *testing.T) {
+	payload := strings.Repeat("x", 100)
+	sr := &SlowReader{R: strings.NewReader(payload), Chunk: 7, Delay: time.Microsecond}
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("read %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestSlowReaderChunksReads(t *testing.T) {
+	sr := &SlowReader{R: strings.NewReader("abcdefgh"), Chunk: 3}
+	buf := make([]byte, 64)
+	n, err := sr.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("first read returned %d bytes, want chunk of 3", n)
+	}
+}
+
+func TestDisconnectReaderCutsMidBody(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 50)
+	dr := &DisconnectReader{R: bytes.NewReader(payload), N: 20}
+	got, err := io.ReadAll(dr)
+	if !errors.Is(err, ErrDisconnect) {
+		t.Fatalf("err = %v, want ErrDisconnect", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("ErrDisconnect must wrap ErrInjected")
+	}
+	if len(got) != 20 {
+		t.Fatalf("delivered %d bytes before disconnect, want 20", len(got))
+	}
+}
+
+func TestDisconnectReaderAtExactEOF(t *testing.T) {
+	// Payload length equals the cut point: the disconnect must still
+	// surface instead of a clean EOF.
+	dr := &DisconnectReader{R: strings.NewReader("12345"), N: 5}
+	_, err := io.ReadAll(dr)
+	if !errors.Is(err, ErrDisconnect) {
+		t.Fatalf("err = %v, want ErrDisconnect at the cut point", err)
+	}
+}
+
+func TestBurstsDeterministicAndBounded(t *testing.T) {
+	const (
+		n, horizon     = 4, 1000
+		minLen, maxLen = 10, 50
+		maxFactor      = 8
+	)
+	a := Bursts(7, n, horizon, minLen, maxLen, maxFactor)
+	b := Bursts(7, n, horizon, minLen, maxLen, maxFactor)
+	if len(a) != n {
+		t.Fatalf("got %d bursts, want %d", len(a), n)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules: %+v vs %+v", a[i], b[i])
+		}
+	}
+	c := Bursts(8, n, horizon, minLen, maxLen, maxFactor)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i, bu := range a {
+		if bu.Start < 0 || bu.Start+bu.Len > horizon {
+			t.Fatalf("burst %d out of horizon: %+v", i, bu)
+		}
+		if bu.Len < minLen || bu.Len > maxLen {
+			t.Fatalf("burst %d length %d outside [%d,%d]", i, bu.Len, minLen, maxLen)
+		}
+		if bu.Factor < 2 || bu.Factor > maxFactor {
+			t.Fatalf("burst %d factor %d outside [2,%d]", i, bu.Factor, maxFactor)
+		}
+		if i > 0 && bu.Start < a[i-1].Start+a[i-1].Len {
+			t.Fatalf("bursts %d and %d overlap: %+v %+v", i-1, i, a[i-1], bu)
+		}
+	}
+}
+
+func TestFactorAt(t *testing.T) {
+	bursts := []Burst{{Start: 10, Len: 5, Factor: 4}}
+	cases := []struct {
+		tick, want int
+	}{
+		{0, 1}, {9, 1}, {10, 4}, {14, 4}, {15, 1},
+	}
+	for _, c := range cases {
+		if got := FactorAt(bursts, c.tick); got != c.want {
+			t.Errorf("FactorAt(%d) = %d, want %d", c.tick, got, c.want)
+		}
+	}
+}

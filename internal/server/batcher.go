@@ -2,12 +2,19 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/mat"
 	"repro/internal/par"
 )
+
+// ErrBusy rejects a row because its model already has MaxPending rows
+// enqueued or in flight — the batcher's backpressure signal. The HTTP
+// layer maps it to 429 + Retry-After.
+var ErrBusy = errors.New("server: batcher at capacity")
 
 // batchScratch recycles the row-major staging buffers batches are copied
 // into before the batched transform, so a steady request stream does not
@@ -22,8 +29,10 @@ type batchResult struct {
 	err error
 }
 
-// pendingRow is one enqueued single-row request.
+// pendingRow is one enqueued single-row request. ctx lets the flush skip
+// rows whose caller has already given up.
 type pendingRow struct {
+	ctx context.Context
 	row []float64
 	out chan batchResult // buffered(1): flush never blocks on a gone caller
 }
@@ -35,58 +44,119 @@ type modelQueue struct {
 	timer *time.Timer
 }
 
-// Batcher coalesces concurrent single-row transform requests into one
-// batched Model.Transform call per model, dispatched through the
-// internal/par chunk plan (TransformParallel). A batch is flushed when it reaches
-// MaxBatch rows or when the oldest row has waited MaxWait, whichever
-// comes first. Under low concurrency this adds at most MaxWait of
-// latency; under high concurrency batches fill instantly and the
-// amortised per-row cost approaches the pure batched-transform cost.
-type Batcher struct {
-	maxBatch int
-	maxWait  time.Duration
-	workers  int
-	sizes    *Histogram // batch-size distribution, may be nil
-
-	mu     sync.Mutex
-	queues map[string]*modelQueue // Entry.Key() → queue
+// flushJob is one detached batch awaiting a flush worker.
+type flushJob struct {
+	key   string
+	entry *Entry
+	rows  []pendingRow
 }
 
-// NewBatcher returns a batcher that flushes at maxBatch rows or after
-// maxWait, transforming each batch with the given worker count. sizes,
-// when non-nil, observes every flushed batch size.
-func NewBatcher(maxBatch int, maxWait time.Duration, workers int, sizes *Histogram) *Batcher {
-	if maxBatch < 1 {
-		maxBatch = 1
+// BatcherConfig sizes a Batcher.
+type BatcherConfig struct {
+	// MaxBatch is the flush threshold in rows (minimum 1).
+	MaxBatch int
+	// MaxWait is how long the oldest row may wait for batch partners;
+	// ≤ 0 disables coalescing (rows are transformed inline).
+	MaxWait time.Duration
+	// Workers is the worker-pool width of each batched transform
+	// (minimum 1).
+	Workers int
+	// FlushWorkers bounds the goroutines executing flushes (minimum 1).
+	// Under overload flushes queue behind the pool instead of spawning
+	// one goroutine per batch.
+	FlushWorkers int
+	// MaxPending caps rows enqueued or in flight per model key; further
+	// rows are shed with ErrBusy. ≤ 0 means unlimited.
+	MaxPending int
+	// Sizes, when non-nil, observes every flushed batch size.
+	Sizes *Histogram
+	// FlushPanics, when non-nil, counts recovered flush panics.
+	FlushPanics *Counter
+	// Abandoned, when non-nil, counts rows skipped at flush time because
+	// their request context was already done.
+	Abandoned *Counter
+	// Shed, when non-nil, counts rows rejected by MaxPending.
+	Shed *Counter
+}
+
+func (c *BatcherConfig) fillDefaults() {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
 	}
-	if workers < 1 {
-		workers = 1
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
-	return &Batcher{
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		workers:  workers,
-		sizes:    sizes,
-		queues:   make(map[string]*modelQueue),
+	if c.FlushWorkers < 1 {
+		c.FlushWorkers = 1
 	}
+}
+
+// Batcher coalesces concurrent single-row transform requests into one
+// batched Model.Transform call per model, dispatched through the
+// internal/par chunk plan (TransformParallel). A batch is flushed when it
+// reaches MaxBatch rows or when the oldest row has waited MaxWait,
+// whichever comes first. Under low concurrency this adds at most MaxWait
+// of latency; under high concurrency batches fill instantly and the
+// amortised per-row cost approaches the pure batched-transform cost.
+//
+// Flushes execute on a bounded worker pool (FlushWorkers) and each model
+// key carries at most MaxPending rows, so a traffic burst queues bounded
+// work and sheds the rest instead of spawning goroutines without limit.
+type Batcher struct {
+	cfg BatcherConfig
+
+	// transform is the batched transform — overridable by tests to
+	// inject failures the real model cannot produce (e.g. panics).
+	transform func(e *Entry, x *mat.Dense, workers int) (*mat.Dense, error)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when jobs arrive or the batcher closes
+	queues  map[string]*modelQueue
+	pending map[string]int // model key → rows enqueued or in flight
+	jobs    []flushJob
+	running int // live flush workers
+	closed  bool
+}
+
+// NewBatcher returns a batcher with the given configuration.
+func NewBatcher(cfg BatcherConfig) *Batcher {
+	cfg.fillDefaults()
+	b := &Batcher{
+		cfg: cfg,
+		transform: func(e *Entry, x *mat.Dense, workers int) (*mat.Dense, error) {
+			return e.Model.TransformParallelChecked(x, workers)
+		},
+		queues:  make(map[string]*modelQueue),
+		pending: make(map[string]int),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
 }
 
 // TransformRow transforms one row through the named model entry,
 // coalescing with other concurrent rows for the same (name, version).
-// It blocks until the row's batch is flushed or ctx is done.
+// It blocks until the row's batch is flushed or ctx is done, and sheds
+// with ErrBusy when the model's pending-row cap is reached.
 func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64) ([]float64, error) {
 	// Validate eagerly so a malformed row errors immediately instead of
 	// poisoning the whole batch it would have joined.
 	if _, err := entry.Model.ProbabilitiesChecked(row); err != nil {
 		return nil, err
 	}
-	if b.maxBatch == 1 || b.maxWait <= 0 {
+	if b.cfg.MaxBatch == 1 || b.cfg.MaxWait <= 0 {
 		return entry.Model.TransformRowChecked(row)
 	}
 
 	out := make(chan batchResult, 1)
 	b.mu.Lock()
 	key := entry.Key()
+	if b.cfg.MaxPending > 0 && b.pending[key] >= b.cfg.MaxPending {
+		b.mu.Unlock()
+		if b.cfg.Shed != nil {
+			b.cfg.Shed.Inc()
+		}
+		return nil, fmt.Errorf("%w: model %s has %d pending rows", ErrBusy, key, b.cfg.MaxPending)
+	}
 	q := b.queues[key]
 	// A hot-reload can swap the model behind a key; never mix rows from
 	// two instances in one batch.
@@ -97,7 +167,7 @@ func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64)
 	if q == nil {
 		q = &modelQueue{entry: entry}
 		b.queues[key] = q
-		q.timer = time.AfterFunc(b.maxWait, func() {
+		q.timer = time.AfterFunc(b.cfg.MaxWait, func() {
 			b.mu.Lock()
 			// Only flush if this queue generation is still pending.
 			if cur, ok := b.queues[key]; ok && cur == q {
@@ -106,8 +176,9 @@ func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64)
 			b.mu.Unlock()
 		})
 	}
-	q.rows = append(q.rows, pendingRow{row: row, out: out})
-	if len(q.rows) >= b.maxBatch {
+	q.rows = append(q.rows, pendingRow{ctx: ctx, row: row, out: out})
+	b.pending[key]++
+	if len(q.rows) >= b.cfg.MaxBatch {
 		b.flushLocked(key, q)
 	}
 	b.mu.Unlock()
@@ -120,46 +191,140 @@ func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64)
 	}
 }
 
-// flushLocked detaches the queue and transforms it on a new goroutine.
+// flushLocked detaches the queue and hands it to the flush-worker pool.
 // Callers must hold b.mu.
 func (b *Batcher) flushLocked(key string, q *modelQueue) {
 	delete(b.queues, key)
 	if q.timer != nil {
 		q.timer.Stop()
 	}
-	rows := q.rows
-	entry := q.entry
-	if len(rows) == 0 {
+	if len(q.rows) == 0 {
 		return
 	}
-	if b.sizes != nil {
-		b.sizes.Observe(float64(len(rows)))
+	b.jobs = append(b.jobs, flushJob{key: key, entry: q.entry, rows: q.rows})
+	// Spin workers up lazily, one per queued job, up to the pool bound;
+	// they stay for the batcher's lifetime.
+	if !b.closed && b.running < b.cfg.FlushWorkers && b.running < len(b.jobs) {
+		b.running++
+		go b.flushWorker()
 	}
-	go func() {
-		dims := entry.Model.Dims()
-		backing := batchScratch.Get(len(rows) * dims)
-		x := mat.NewDenseData(len(rows), dims, backing)
-		for i, p := range rows {
-			copy(x.Row(i), p.row)
-		}
-		xt, err := entry.Model.TransformParallelChecked(x, b.workers)
-		batchScratch.Put(backing)
-		for i, p := range rows {
-			if err != nil {
-				p.out <- batchResult{err: err}
-				continue
-			}
-			p.out <- batchResult{row: xt.Row(i)}
-		}
-	}()
+	b.cond.Signal()
 }
 
-// Flush synchronously drains every pending queue; used by tests and
-// during shutdown.
+// flushWorker drains the job queue until the batcher closes and the
+// queue is empty.
+func (b *Batcher) flushWorker() {
+	b.mu.Lock()
+	for {
+		for len(b.jobs) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if len(b.jobs) == 0 && b.closed {
+			b.running--
+			b.mu.Unlock()
+			return
+		}
+		job := b.jobs[0]
+		b.jobs[0] = flushJob{}
+		b.jobs = b.jobs[1:]
+		b.mu.Unlock()
+		b.runJob(job)
+		b.mu.Lock()
+	}
+}
+
+// runJob transforms one detached batch and delivers per-row results.
+// Rows whose request context is already done are skipped — their callers
+// have returned and nobody would read the result. A panic inside the
+// transform is recovered and delivered as an error to every still-waiting
+// row, so no caller ever blocks forever on a dead flush.
+func (b *Batcher) runJob(job flushJob) {
+	live := job.rows[:0]
+	abandoned := 0
+	for _, p := range job.rows {
+		if p.ctx != nil && p.ctx.Err() != nil {
+			abandoned++
+			continue
+		}
+		live = append(live, p)
+	}
+	if abandoned > 0 && b.cfg.Abandoned != nil {
+		b.cfg.Abandoned.Add(int64(abandoned))
+	}
+
+	delivered := 0
+	defer func() {
+		if p := recover(); p != nil {
+			if b.cfg.FlushPanics != nil {
+				b.cfg.FlushPanics.Inc()
+			}
+			err := fmt.Errorf("server: batch flush panicked: %v", p)
+			for _, pr := range live[delivered:] {
+				pr.out <- batchResult{err: err}
+			}
+		}
+		b.mu.Lock()
+		if b.pending[job.key] -= len(job.rows); b.pending[job.key] <= 0 {
+			delete(b.pending, job.key)
+		}
+		b.mu.Unlock()
+	}()
+
+	if len(live) == 0 {
+		return
+	}
+	if b.cfg.Sizes != nil {
+		b.cfg.Sizes.Observe(float64(len(live)))
+	}
+	dims := job.entry.Model.Dims()
+	backing := batchScratch.Get(len(live) * dims)
+	x := mat.NewDenseData(len(live), dims, backing)
+	for i, p := range live {
+		copy(x.Row(i), p.row)
+	}
+	xt, err := b.transform(job.entry, x, b.cfg.Workers)
+	batchScratch.Put(backing)
+	for i, p := range live {
+		if err != nil {
+			p.out <- batchResult{err: err}
+		} else {
+			p.out <- batchResult{row: xt.Row(i)}
+		}
+		delivered = i + 1
+	}
+}
+
+// PendingRows returns the total rows enqueued or in flight across all
+// models — the batcher's share of a queue-depth gauge.
+func (b *Batcher) PendingRows() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, c := range b.pending {
+		n += c
+	}
+	return n
+}
+
+// Flush detaches every pending queue into the flush pool; used by tests
+// and during shutdown. It does not wait for the flushes to complete —
+// waiters are unblocked as their batches execute.
 func (b *Batcher) Flush() {
 	b.mu.Lock()
 	for key, q := range b.queues {
 		b.flushLocked(key, q)
 	}
+	b.mu.Unlock()
+}
+
+// Close flushes all pending queues and stops the flush workers once the
+// job queue drains. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	for key, q := range b.queues {
+		b.flushLocked(key, q)
+	}
+	b.closed = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }

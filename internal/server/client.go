@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// StatusError is a non-2xx response the client gave up on (or was told
+// not to retry). RetryAfter carries the server's backoff hint, zero if
+// none was sent.
+type StatusError struct {
+	Status     int
+	Body       string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Body)
+}
+
+// ClientStats counts what a Client did, for load reports.
+type ClientStats struct {
+	Requests int64 // HTTP round trips attempted
+	Retries  int64 // round trips that were retries
+	Shed     int64 // 429/503 responses seen
+}
+
+// Client is a retrying HTTP client for the serving API, built to be a
+// well-behaved citizen of the overload-protection contract: it
+// propagates its context deadline via the X-Request-Timeout-Ms header,
+// backs off exponentially with full jitter on retryable failures, and
+// honours the server's Retry-After hint as a floor on the next delay.
+// Retryable: transport errors, 429, 503. Everything else returns
+// immediately.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retries after the first attempt (default 3,
+	// negative disables retrying).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests; 0 uses a fixed
+	// default (jitter quality does not matter, reproducibility does).
+	Seed int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats ClientStats
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 3
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.BaseDelay
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return c.MaxDelay
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// backoff returns the sleep before retry attempt (1-based): full jitter
+// over an exponentially growing cap, floored by the server's hint.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	ceil := c.baseDelay() << (attempt - 1)
+	if ceil > c.maxDelay() || ceil <= 0 {
+		ceil = c.maxDelay()
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.mu.Unlock()
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// retryAfter parses an integer-seconds Retry-After header.
+func retryAfter(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Transform sends one row through POST /v1/models/{name}/transform and
+// returns the transformed row.
+func (c *Client) Transform(ctx context.Context, model string, row []float64) ([]float64, error) {
+	var out transformResponse
+	err := c.post(ctx, "/v1/models/"+model+"/transform", rowsRequest{Rows: [][]float64{row}}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Rows) != 1 {
+		return nil, fmt.Errorf("server returned %d rows for 1", len(out.Rows))
+	}
+	return out.Rows[0], nil
+}
+
+// Probabilities sends one row through POST
+// /v1/models/{name}/probabilities and returns its prototype-membership
+// distribution.
+func (c *Client) Probabilities(ctx context.Context, model string, row []float64) ([]float64, error) {
+	var out probabilitiesResponse
+	err := c.post(ctx, "/v1/models/"+model+"/probabilities", rowsRequest{Rows: [][]float64{row}}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Probabilities) != 1 {
+		return nil, fmt.Errorf("server returned %d rows for 1", len(out.Probabilities))
+	}
+	return out.Probabilities[0], nil
+}
+
+// post marshals once, then retries the round trip under the client's
+// backoff policy until success, a terminal status, retry exhaustion, or
+// ctx expiry — whichever is first.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+		}
+		lastErr = c.roundTrip(ctx, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		var se *StatusError
+		retryable := !errors.As(lastErr, &se) ||
+			se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.maxRetries() || ctx.Err() != nil {
+			return lastErr
+		}
+		hint := time.Duration(0)
+		if se != nil {
+			hint = se.RetryAfter
+		}
+		select {
+		case <-time.After(c.backoff(attempt+1, hint)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// roundTrip performs one attempt, propagating the remaining ctx budget
+// in the deadline header so the server sheds work this caller would
+// abandon anyway.
+func (c *Client) roundTrip(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(TimeoutHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			c.mu.Lock()
+			c.stats.Shed++
+			c.mu.Unlock()
+		}
+		var apiErr errorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &StatusError{Status: resp.StatusCode, Body: msg, RetryAfter: retryAfter(resp)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

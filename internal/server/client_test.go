@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClientTransformRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	defer s.Batcher().Close()
+	c := &Client{BaseURL: ts.URL}
+	row := []float64{1, 2, 3}
+	got, err := c.Transform(context.Background(), "credit", row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustEntry(t, s, "credit").Model.TransformRow(row)
+	if len(got) != len(want) {
+		t.Fatalf("row length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	probs, err := c.Probabilities(context.Background(), "credit", row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum to %v, want 1", sum)
+	}
+}
+
+func mustEntry(t *testing.T, s *Server, name string) *Entry {
+	t.Helper()
+	e, ok := s.Registry().Get(name)
+	if !ok {
+		t.Fatalf("model %s not in registry", name)
+	}
+	return e
+}
+
+func TestClientRetriesShedsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(errorResponse{Error: "overloaded"}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(transformResponse{ //nolint:errcheck
+			Model: "m", Version: 1, Rows: [][]float64{{42}},
+		})
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1}
+	got, err := c.Transform(context.Background(), "m", []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("row = %v, want [42]", got)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 sheds + success)", n)
+	}
+	st := c.Stats()
+	if st.Requests != 3 || st.Retries != 2 || st.Shed != 2 {
+		t.Fatalf("stats = %+v, want 3 requests / 2 retries / 2 sheds", st)
+	}
+}
+
+func TestClientDoesNotRetryTerminalStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(errorResponse{Error: "bad row"}) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 5, BaseDelay: time.Millisecond}
+	_, err := c.Transform(context.Background(), "m", []float64{1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls for a terminal 400, want 1", n)
+	}
+}
+
+func TestClientHonoursRetryAfterFloor(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryGap atomic.Int64
+	var lastCall atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := lastCall.Swap(now); prev != 0 && firstRetryGap.Load() == 0 {
+			firstRetryGap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(transformResponse{Rows: [][]float64{{1}}}) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	// Jittered backoff alone would be ≤ 2ms; the server's 1s hint must
+	// floor it.
+	c := &Client{BaseURL: ts.URL, MaxRetries: 1, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 7}
+	if _, err := c.Transform(context.Background(), "m", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if gap := time.Duration(firstRetryGap.Load()); gap < 900*time.Millisecond {
+		t.Fatalf("retry after %v, want ≥ ~1s from Retry-After hint", gap)
+	}
+}
+
+func TestClientPropagatesDeadlineHeader(t *testing.T) {
+	var header atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get(TimeoutHeader))
+		json.NewEncoder(w).Encode(transformResponse{Rows: [][]float64{{1}}}) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 750*time.Millisecond)
+	defer cancel()
+	if _, err := c.Transform(ctx, "m", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := header.Load().(string)
+	if h == "" {
+		t.Fatal("deadline header not propagated")
+	}
+	ms, err := time.ParseDuration(h + "ms")
+	if err != nil || ms <= 0 || ms > 750*time.Millisecond {
+		t.Fatalf("deadline header = %q, want 0 < ms ≤ 750", h)
+	}
+}
+
+func TestClientStopsRetryingOnContextExpiry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 100, BaseDelay: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Transform(ctx, "m", []float64{1})
+	if err == nil {
+		t.Fatal("want an error after ctx expiry")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("client kept retrying %v past its context", elapsed)
+	}
+}

@@ -149,7 +149,8 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
-	bounds   map[string][]float64 // histogram name → bucket layout
+	bounds   map[string][]float64      // histogram name → bucket layout
+	gauges   map[string]func() float64 // sampled at scrape time
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -158,6 +159,7 @@ func NewMetrics() *Metrics {
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
 		bounds:   make(map[string][]float64),
+		gauges:   make(map[string]func() float64),
 	}
 }
 
@@ -218,6 +220,16 @@ func (m *Metrics) Histogram(name string, bounds []float64, labels ...string) *Hi
 	return h
 }
 
+// GaugeFunc registers a gauge whose value is sampled by calling fn at
+// scrape time — for instantaneous state like queue depth. Registering
+// the same identity again replaces the function.
+func (m *Metrics) GaugeFunc(name string, fn func() float64, labels ...string) {
+	key := metricKey(name, labels)
+	m.mu.Lock()
+	m.gauges[key] = fn
+	m.mu.Unlock()
+}
+
 // WriteTo renders every metric in the Prometheus plain-text format, with
 // estimated quantile lines added for each histogram (p50/p90/p99), and
 // returns the number of bytes written.
@@ -239,15 +251,30 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	for k, v := range m.hists {
 		hists[k] = v
 	}
+	gaugeKeys := make([]string, 0, len(m.gauges))
+	for k := range m.gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	gauges := make(map[string]func() float64, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
 	m.mu.Unlock()
 
 	sort.Strings(counterKeys)
 	sort.Strings(histKeys)
+	sort.Strings(gaugeKeys)
 
 	var b strings.Builder
 	for _, key := range counterKeys {
 		name, labels := splitKey(key)
 		fmt.Fprintf(&b, "%s%s %d\n", name, renderLabels(labels), counters[key].Value())
+	}
+	// Gauge functions run outside the registry lock: they may take other
+	// locks (limiter, batcher) of their own.
+	for _, key := range gaugeKeys {
+		name, labels := splitKey(key)
+		fmt.Fprintf(&b, "%s%s %g\n", name, renderLabels(labels), gauges[key]())
 	}
 	for _, key := range histKeys {
 		name, labels := splitKey(key)

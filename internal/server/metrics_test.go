@@ -121,3 +121,38 @@ func TestHistogramBucketAssignment(t *testing.T) {
 		t.Fatalf("quantile = %v, want 1", h.Quantile(1))
 	}
 }
+
+func TestGaugeFuncExposition(t *testing.T) {
+	m := NewMetrics()
+	depth := 3.0
+	m.GaugeFunc("ifair_queue_depth", func() float64 { return depth })
+	m.GaugeFunc("ifair_inflight", func() float64 { return 7 }, "path=/x")
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ifair_queue_depth 3\n") {
+		t.Fatalf("missing gauge line:\n%s", out)
+	}
+	if !strings.Contains(out, `ifair_inflight{path="/x"} 7`+"\n") {
+		t.Fatalf("missing labelled gauge line:\n%s", out)
+	}
+
+	// Gauges are sampled at scrape time, not registration time.
+	depth = 9
+	b.Reset()
+	m.WriteTo(&b) //nolint:errcheck
+	if !strings.Contains(b.String(), "ifair_queue_depth 9\n") {
+		t.Fatalf("gauge not re-sampled at scrape:\n%s", b.String())
+	}
+
+	// Re-registering the same identity replaces the function.
+	m.GaugeFunc("ifair_queue_depth", func() float64 { return -1 })
+	b.Reset()
+	m.WriteTo(&b) //nolint:errcheck
+	if !strings.Contains(b.String(), "ifair_queue_depth -1\n") {
+		t.Fatalf("gauge function not replaced:\n%s", b.String())
+	}
+}

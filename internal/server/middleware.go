@@ -2,13 +2,23 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"repro/internal/admission"
 )
+
+// TimeoutHeader is the client deadline-propagation header: the caller's
+// remaining budget in whole milliseconds. The server clamps it to its
+// own RequestTimeout, so a generous client cannot extend the server's
+// per-request bound, while an impatient one stops being served the
+// moment its budget is gone.
+const TimeoutHeader = "X-Request-Timeout-Ms"
 
 // statusRecorder captures the status code a handler writes.
 type statusRecorder struct {
@@ -28,13 +38,61 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush passes streaming flushes through to the underlying writer, so
+// wrapping a handler never hides http.Flusher from it.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// effectiveTimeout clamps the client's propagated budget (if any) to the
+// server's own per-request bound. Absent or malformed headers fall back
+// to the server bound.
+func effectiveTimeout(r *http.Request, serverTimeout time.Duration) time.Duration {
+	h := r.Header.Get(TimeoutHeader)
+	if h == "" {
+		return serverTimeout
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return serverTimeout
+	}
+	if d := time.Duration(ms) * time.Millisecond; d < serverTimeout {
+		return d
+	}
+	return serverTimeout
+}
+
+// shedReason labels an admission rejection for the shed counter.
+func shedReason(err error) string {
+	switch {
+	case errors.Is(err, admission.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, admission.ErrQueueTimeout):
+		return "queue_timeout"
+	case errors.Is(err, admission.ErrDeadline):
+		return "deadline"
+	default:
+		return "context"
+	}
+}
+
 // instrument wraps a handler with the per-endpoint cross-cutting
-// concerns: a request-scoped timeout, panic recovery, request/error
-// counters and a latency histogram labelled by path.
-func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
+// concerns: a request-scoped timeout (the client's propagated budget
+// clamped to the server's), panic recovery, request/error counters and a
+// latency histogram labelled by path. With admit set the request must
+// also pass admission control — overload sheds it with 429/503 +
+// Retry-After before any handler work happens. Health probes and
+// /metrics pass admit=false so they are never queued behind traffic.
+func (s *Server) instrument(path string, admit bool, h http.HandlerFunc) http.Handler {
 	latency := s.metrics.Histogram("ifair_http_request_duration_seconds", latencyBuckets, "path="+path)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		timeout := s.cfg.RequestTimeout
+		if admit {
+			timeout = effectiveTimeout(r, timeout)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 
@@ -64,6 +122,16 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 					"path="+path, "code="+strconv.Itoa(status)).Inc()
 			}
 		}()
+		if admit {
+			release, err := s.limiter.Acquire(ctx)
+			if err != nil {
+				s.metrics.Counter("ifair_admission_shed_total",
+					"path="+path, "reason="+shedReason(err)).Inc()
+				s.writeError(rec, err)
+				return
+			}
+			defer release()
+		}
 		h(rec, r)
 	})
 }

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/mat"
 )
 
@@ -33,6 +35,32 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxRows caps the number of rows per batch request (default 10000).
 	MaxRows int
+
+	// MaxInflight bounds concurrently executing transform/probabilities
+	// requests (default 8×GOMAXPROCS). Health probes and /metrics are
+	// never admission-controlled.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 2×MaxInflight; negative disables queueing — busy ⇒ immediate 429).
+	MaxQueue int
+	// MaxQueueWait caps how long a request may wait in the admission
+	// queue before being shed with 503 (default RequestTimeout/2;
+	// negative means waiters are bounded only by their own deadline).
+	MaxQueueWait time.Duration
+	// MinHeadroom sheds a request immediately when its deadline budget
+	// is below this — there would be no time left to serve it (default
+	// 0: shed only already-expired requests).
+	MinHeadroom time.Duration
+	// RetryAfter is the hint sent in the Retry-After header of 429/503
+	// shed responses (default 1s).
+	RetryAfter time.Duration
+	// FlushWorkers bounds the micro-batcher's flush goroutines (default
+	// Workers).
+	FlushWorkers int
+	// MaxPending caps queued + in-flight micro-batched rows per model;
+	// beyond it single-row requests are shed with 429 (default
+	// 16×MaxBatch; negative means unlimited).
+	MaxPending int
 }
 
 func (c *Config) fillDefaults() {
@@ -54,6 +82,33 @@ func (c *Config) fillDefaults() {
 	if c.MaxRows <= 0 {
 		c.MaxRows = 10000
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxInflight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	switch {
+	case c.MaxQueueWait == 0:
+		c.MaxQueueWait = c.RequestTimeout / 2
+	case c.MaxQueueWait < 0:
+		c.MaxQueueWait = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.FlushWorkers <= 0 {
+		c.FlushWorkers = c.Workers
+	}
+	switch {
+	case c.MaxPending == 0:
+		c.MaxPending = 16 * c.MaxBatch
+	case c.MaxPending < 0:
+		c.MaxPending = 0
+	}
 }
 
 // Server serves fitted iFair models over HTTP: batched transforms,
@@ -63,6 +118,7 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	batcher  *Batcher
+	limiter  *admission.Limiter
 	metrics  *Metrics
 	ready    atomic.Bool
 }
@@ -77,8 +133,32 @@ func New(cfg Config) (*Server, error) {
 		registry: NewRegistry(cfg.ModelDir),
 		metrics:  NewMetrics(),
 	}
-	s.batcher = NewBatcher(cfg.MaxBatch, cfg.MaxWait, cfg.Workers,
-		s.metrics.Histogram("ifair_batch_size", batchSizeBuckets))
+	s.batcher = NewBatcher(BatcherConfig{
+		MaxBatch:     cfg.MaxBatch,
+		MaxWait:      cfg.MaxWait,
+		Workers:      cfg.Workers,
+		FlushWorkers: cfg.FlushWorkers,
+		MaxPending:   cfg.MaxPending,
+		Sizes:        s.metrics.Histogram("ifair_batch_size", batchSizeBuckets),
+		FlushPanics:  s.metrics.Counter("batcher_flush_panics"),
+		Abandoned:    s.metrics.Counter("batcher_rows_abandoned"),
+		Shed:         s.metrics.Counter("batcher_rows_shed"),
+	})
+	s.limiter = admission.NewLimiter(admission.Config{
+		MaxConcurrent: cfg.MaxInflight,
+		MaxQueue:      cfg.MaxQueue,
+		MaxQueueWait:  cfg.MaxQueueWait,
+		MinHeadroom:   cfg.MinHeadroom,
+	})
+	s.metrics.GaugeFunc("ifair_admission_queue_depth", func() float64 {
+		return float64(s.limiter.Stats().QueueDepth)
+	})
+	s.metrics.GaugeFunc("ifair_admission_inflight", func() float64 {
+		return float64(s.limiter.Stats().Inflight)
+	})
+	s.metrics.GaugeFunc("batcher_pending_rows", func() float64 {
+		return float64(s.batcher.PendingRows())
+	})
 	s.registry.SetFailureCounter(s.metrics.Counter("registry_reload_failures"))
 	if _, _, err := s.registry.Reload(); err != nil {
 		if s.registry.Len() == 0 {
@@ -100,15 +180,25 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Batcher exposes the micro-batcher (for draining in tests).
 func (s *Server) Batcher() *Batcher { return s.batcher }
 
-// Handler returns the fully instrumented HTTP handler.
+// Limiter exposes the admission controller (for tests and gauges).
+func (s *Server) Limiter() *admission.Limiter { return s.limiter }
+
+// Close flushes the micro-batcher and stops its flush workers. Call
+// after the HTTP server has drained.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Handler returns the fully instrumented HTTP handler. Model inference
+// endpoints sit behind admission control; health probes, /metrics and
+// the registry listing are never queued or shed, so operators can always
+// observe an overloaded server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
-	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleListModels))
-	mux.Handle("POST /v1/models/{name}/transform", s.instrument("/v1/models/transform", s.handleTransform))
-	mux.Handle("POST /v1/models/{name}/probabilities", s.instrument("/v1/models/probabilities", s.handleProbabilities))
+	mux.Handle("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
+	mux.Handle("GET /v1/models", s.instrument("/v1/models", false, s.handleListModels))
+	mux.Handle("POST /v1/models/{name}/transform", s.instrument("/v1/models/transform", true, s.handleTransform))
+	mux.Handle("POST /v1/models/{name}/probabilities", s.instrument("/v1/models/probabilities", true, s.handleProbabilities))
 	return mux
 }
 
@@ -161,16 +251,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// setRetryAfter stamps the shed-response backoff hint (whole seconds,
+// rounded up, minimum 1).
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 // writeError maps an error to a JSON error response: httpError keeps its
-// status, context deadline/cancellation errors become 503, everything
-// else is a 500.
-func writeError(w http.ResponseWriter, err error) {
+// status, overload sheds become 429 (queue/batcher full) or 503 (queue
+// wait or deadline headroom exceeded) with a Retry-After hint, a
+// server-side deadline expiry becomes 504 Gateway Timeout, and
+// everything else is a 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
+		if he.status == http.StatusTooManyRequests || he.status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
+		}
 		writeJSON(w, he.status, errorResponse{Error: he.msg})
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request timed out"})
+	case errors.Is(err, ErrBusy), errors.Is(err, admission.ErrQueueFull):
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, admission.ErrQueueTimeout), errors.Is(err, admission.ErrDeadline):
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		// The caller is gone; the status survives only in logs/metrics.
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
@@ -255,12 +370,12 @@ func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, entry *Entry
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.resolveEntry(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	req, err := s.decodeRows(w, r, entry)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 
@@ -270,7 +385,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		// callers share one batched transform.
 		row, err := s.batcher.TransformRow(r.Context(), entry, req.Rows[0])
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		out[0] = row
@@ -278,7 +393,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		x := mat.FromRows(req.Rows)
 		xt, err := entry.Model.TransformParallelChecked(x, s.cfg.Workers)
 		if err != nil {
-			writeError(w, badRequest("%v", err))
+			s.writeError(w, badRequest("%v", err))
 			return
 		}
 		for i := range out {
@@ -291,19 +406,19 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProbabilities(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.resolveEntry(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	req, err := s.decodeRows(w, r, entry)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	probs := make([][]float64, len(req.Rows))
 	for i, row := range req.Rows {
 		u, err := entry.Model.ProbabilitiesChecked(row)
 		if err != nil {
-			writeError(w, badRequest("row %d: %v", i, err))
+			s.writeError(w, badRequest("row %d: %v", i, err))
 			return
 		}
 		probs[i] = u

@@ -344,7 +344,7 @@ func TestNewFailsOnMissingDir(t *testing.T) {
 	}
 }
 
-func TestRequestTimeoutReturns503(t *testing.T) {
+func TestRequestTimeoutReturns504(t *testing.T) {
 	dir := t.TempDir()
 	writeModelFile(t, dir, "m.json", testModel(2, 2))
 	s, err := New(Config{
@@ -358,10 +358,162 @@ func TestRequestTimeoutReturns503(t *testing.T) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	defer s.Batcher().Flush()
+	defer s.Batcher().Close()
 	resp, body := postJSON(t, ts.URL+"/v1/models/m/transform", rowsRequest{Rows: [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504 on server-side deadline expiry", resp.StatusCode, body)
+	}
+}
+
+// TestDeadlineHeaderPropagates covers client deadline propagation: a
+// small X-Request-Timeout-Ms budget beats the server's generous
+// RequestTimeout, and the expiry surfaces as 504.
+func TestDeadlineHeaderPropagates(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "m.json", testModel(2, 2))
+	s, err := New(Config{
+		ModelDir:       dir,
+		MaxBatch:       1000,             // never size-flush
+		MaxWait:        10 * time.Second, // never timer-flush in time
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Batcher().Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/models/m/transform",
+		strings.NewReader(`{"rows":[[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TimeoutHeader, "40")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 from the propagated 40ms budget", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("request took %v: client budget was not propagated", elapsed)
+	}
+}
+
+// TestShedReturns429WithRetryAfter wedges the single admission slot and
+// verifies the next request is shed with 429 + Retry-After instead of
+// queueing (queueing disabled).
+func TestShedReturns429WithRetryAfter(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "m.json", testModel(2, 2))
+	s, err := New(Config{
+		ModelDir:       dir,
+		MaxBatch:       1000,
+		MaxWait:        10 * time.Second, // park the first request in the batch window
+		RequestTimeout: 5 * time.Second,
+		MaxInflight:    1,
+		MaxQueue:       -1, // no queue: busy ⇒ shed
+		RetryAfter:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Batcher().Close()
+
+	// Occupy the only slot: this request sits in the micro-batch window.
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/models/m/transform", "application/json",
+			strings.NewReader(`{"rows":[[1,2]]}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Limiter().Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/models/m/transform", rowsRequest{Rows: [][]float64{{3, 4}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429 shed", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want %q", resp.Header.Get("Retry-After"), "2")
+	}
+	// Health probes and metrics must bypass admission entirely.
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d while transform slot wedged, want 200", resp.StatusCode)
+	}
+	resp, mbody := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d while transform slot wedged, want 200", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`ifair_admission_shed_total{path="/v1/models/transform",reason="queue_full"} 1`,
+		"ifair_admission_queue_depth 0",
+		"ifair_admission_inflight 1",
+		"batcher_flush_panics 0",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestQueueWaitCapSheds503 fills the slot and bounds the queue wait: the
+// queued request must come back 503 + Retry-After once the cap expires.
+func TestQueueWaitCapSheds503(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "m.json", testModel(2, 2))
+	s, err := New(Config{
+		ModelDir:       dir,
+		MaxBatch:       1000,
+		MaxWait:        10 * time.Second,
+		RequestTimeout: 5 * time.Second,
+		MaxInflight:    1,
+		MaxQueue:       4,
+		MaxQueueWait:   30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Batcher().Close()
+
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/models/m/transform", "application/json",
+			strings.NewReader(`{"rows":[[1,2]]}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Limiter().Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/models/m/transform", rowsRequest{Rows: [][]float64{{3, 4}}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d (%s), want 503 on request timeout", resp.StatusCode, body)
+		t.Fatalf("status = %d (%s), want 503 queue-time shed", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 shed response missing Retry-After")
 	}
 }
 

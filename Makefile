@@ -4,14 +4,15 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers test-faults test-overload loadgen race fuzz cover bench bench-fit experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults test-overload test-router loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve experiments examples serve fmt vet clean
 
-# vet, race, the widened worker sweep, the crash-safety fault sweep and
-# the overload soak run on every default invocation so the concurrent
-# registry/batcher code in internal/server, the chunked-parallel
-# objective paths, the checkpoint/resume machinery and the admission/
-# load-shedding path are checked routinely.
-all: build vet test race test-workers test-faults test-overload
+# vet, race, the widened worker sweep, the crash-safety fault sweep, the
+# overload soak and the router replica-kill soak run on every default
+# invocation so the concurrent registry/batcher code in internal/server,
+# the chunked-parallel objective paths, the checkpoint/resume machinery,
+# the admission/load-shedding path and the scale-out routing tier are
+# checked routinely.
+all: build vet test race test-workers test-faults test-overload test-router
 
 build:
 	$(GO) build ./...
@@ -42,12 +43,25 @@ test-overload:
 		-run 'TestOverload|TestShed|TestQueue|TestBatcher' \
 		./internal/server/ ./internal/admission/
 
+# Race-enabled scale-out soak: goodput scaling 1→4 replicas, replica
+# kill mid-burst with probe-driven eviction, model-dir sync vs hot
+# reload, and the router/balancer/health unit suites.
+test-router:
+	$(GO) test -race ./internal/router/
+	$(GO) test -race -run 'TestSync' ./internal/server/
+
 # Closed-loop load-generator smoke test: spins an in-process server over
 # a synthetic model, drives it with bursts for 2 seconds, and fails on
 # zero goodput.
 loadgen:
 	$(GO) run ./cmd/loadgen -selftest -duration 2s -concurrency 24 \
 		-deadline 200ms -bursts 2 -burst-max 3 -min-goodput 1
+
+# Multi-replica chaos smoke test: 4 replicas behind the in-process
+# router, 2 seeded replica kills over 6 seconds, fails on zero goodput.
+loadgen-chaos:
+	$(GO) run ./cmd/loadgen -selftest -replicas 4 -chaos 2 -duration 6s \
+		-concurrency 24 -deadline 500ms -min-goodput 1
 
 race:
 	$(GO) test -race ./...
@@ -71,6 +85,12 @@ bench:
 bench-fit:
 	$(GO) test -run='^$$' -bench=FitParallelRestarts -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
+
+# Serving-path benchmarks (end-to-end HTTP transform + micro-batcher
+# coalescing), archived as JSON for cross-commit comparison.
+bench-serve:
+	$(GO) test -run='^$$' -bench='ServerTransform|MicroBatcher' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
 
 # Regenerate every table and figure (trimmed grid; add FULL=1 for the
 # paper's full Sec. V-B grid).

@@ -58,6 +58,10 @@ func run() error {
 		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		maxRows  = flag.Int("max-rows", 10000, "maximum rows per batch request")
 
+		syncFrom  = flag.String("sync-from", "", "origin server base URL to pull model files from (replica mode)")
+		syncEvery = flag.Duration("sync-every", 10*time.Second, "model-dir sync interval when -sync-from is set")
+		syncPrune = flag.Bool("sync-prune", false, "also remove local model files the sync origin no longer has")
+
 		maxInflight  = flag.Int("max-inflight", 0, "admission: concurrent transform/probabilities requests (0 = 8×GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "admission: waiting requests beyond the inflight cap (0 = 2×inflight, negative disables queueing)")
 		queueWait    = flag.Duration("queue-wait", 0, "admission: max time a request may queue before being shed (0 = timeout/2, negative disables)")
@@ -105,6 +109,20 @@ func run() error {
 
 	if *reload > 0 {
 		go s.Registry().Watch(ctx, *reload, log.Printf)
+	}
+	if *syncFrom != "" {
+		syncer := &server.Syncer{
+			Source: &server.Client{BaseURL: *syncFrom},
+			Dir:    *models,
+			Prune:  *syncPrune,
+		}
+		m := s.Metrics()
+		syncer.Counters.Synced = m.Counter("model_sync_files_total")
+		syncer.Counters.Skipped = m.Counter("model_sync_skipped_total")
+		syncer.Counters.Pruned = m.Counter("model_sync_pruned_total")
+		syncer.Counters.Errors = m.Counter("model_sync_errors_total")
+		log.Printf("pulling model dir from %s every %v (prune=%v)", *syncFrom, *syncEvery, *syncPrune)
+		go syncer.Watch(ctx, *syncEvery, log.Printf)
 	}
 
 	srv := &http.Server{

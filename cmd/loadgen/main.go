@@ -1,21 +1,27 @@
-// Command loadgen is a closed-loop load generator for ifair-server: N
-// workers each keep exactly one request in flight against the transform
-// endpoint, with optional seeded burst phases multiplying the offered
-// concurrency, a per-request deadline propagated to the server, and the
-// retrying client from internal/server doing the backoff. At the end it
-// reports goodput, shed rate and exact latency quantiles, and exits
-// non-zero if goodput fell below -min-goodput — so `make loadgen` is a
-// pass/fail overload smoke test, not just a number printer.
+// Command loadgen is a closed-loop load generator for ifair-server and
+// ifair-router: N workers each keep exactly one request in flight
+// against the transform endpoint, with optional seeded burst phases
+// multiplying the offered concurrency, a per-request deadline propagated
+// to the server, and the retrying client from internal/server doing the
+// backoff. -addr accepts a comma-separated target list (multi-target
+// mode: workers are spread round-robin across targets, per-target
+// goodput reported at the end). At the end it reports goodput, shed rate
+// and exact latency quantiles, and exits non-zero if goodput fell below
+// -min-goodput — so `make loadgen` is a pass/fail overload smoke test,
+// not just a number printer.
 //
-// Usage against a running server:
+// Usage against a running server or router:
 //
 //	loadgen -addr http://localhost:8080 -model credit -dims 3 \
 //	        -concurrency 32 -duration 30s -deadline 250ms
 //
-// Or fully self-contained (spins an in-process server over a synthetic
-// model, drives it, and tears it down):
+// Or fully self-contained: -selftest spins an in-process fleet over a
+// synthetic model — -replicas N puts N replica servers behind an
+// in-process router, and -chaos K kills replicas mid-run on a seeded
+// outage schedule from internal/faultinject, proving goodput holds while
+// the router routes around the dead backend:
 //
-//	loadgen -selftest -duration 5s
+//	loadgen -selftest -replicas 4 -chaos 2 -duration 8s
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +42,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ifair"
 	"repro/internal/mat"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -54,6 +62,8 @@ type report struct {
 	shed     atomic.Int64
 	timeout  atomic.Int64
 	errs     atomic.Int64
+
+	okPerTarget []atomic.Int64
 }
 
 func (r *report) observe(d time.Duration) {
@@ -77,7 +87,7 @@ func (r *report) quantile(q float64) time.Duration {
 
 func run() error {
 	var (
-		addr        = flag.String("addr", "", "server base URL, e.g. http://localhost:8080")
+		addr        = flag.String("addr", "", "target base URL(s), comma-separated for multi-target mode")
 		model       = flag.String("model", "credit", "model name to drive")
 		dims        = flag.Int("dims", 3, "input row width of the model")
 		concurrency = flag.Int("concurrency", 16, "base closed-loop workers (one request in flight each)")
@@ -86,24 +96,42 @@ func run() error {
 		retries     = flag.Int("retries", 2, "retries per request on shed/transport failure")
 		bursts      = flag.Int("bursts", 0, "number of seeded burst phases (0 = steady load)")
 		burstMax    = flag.Int("burst-max", 4, "maximum load multiplier during a burst")
-		seed        = flag.Int64("seed", 1, "seed for the burst schedule (replays exactly)")
+		seed        = flag.Int64("seed", 1, "seed for the burst and chaos schedules (replays exactly)")
 		minGoodput  = flag.Float64("min-goodput", 0, "exit 1 if successful requests/sec falls below this")
-		selftest    = flag.Bool("selftest", false, "spin an in-process server over a synthetic model and drive that")
+		selftest    = flag.Bool("selftest", false, "spin an in-process fleet over a synthetic model and drive that")
+		replicas    = flag.Int("replicas", 1, "selftest: replica servers behind an in-process router (1 = bare server)")
+		chaos       = flag.Int("chaos", 0, "selftest: seeded replica outages injected during the run")
 	)
 	flag.Parse()
 
-	base := *addr
+	targets := splitTargets(*addr)
 	if *selftest {
-		ts, cleanup, err := selftestServer(*model, *dims)
+		fleet, err := selftestFleet(*model, *dims, *replicas)
 		if err != nil {
 			return err
 		}
-		defer cleanup()
-		base = ts.URL
-		fmt.Printf("selftest server on %s (tiny capacity: expect sheds)\n", base)
+		defer fleet.cleanup()
+		targets = []string{fleet.url}
+		if *replicas > 1 {
+			fmt.Printf("selftest fleet: router on %s over %d replicas (tiny capacity: expect sheds)\n", fleet.url, *replicas)
+		} else {
+			fmt.Printf("selftest server on %s (tiny capacity: expect sheds)\n", fleet.url)
+		}
+		if *chaos > 0 {
+			if *replicas < 2 {
+				return fmt.Errorf("-chaos needs -replicas ≥ 2 (killing the only replica proves nothing)")
+			}
+			horizon := int(duration.Seconds())
+			if horizon < 1 {
+				horizon = 1
+			}
+			outages := faultinject.Outages(*seed, *chaos, *replicas, horizon, 1, horizon / *chaos)
+			fmt.Printf("chaos schedule   %+v\n", outages)
+			fleet.runChaos(outages)
+		}
 	}
-	if base == "" {
-		return fmt.Errorf("specify -addr or -selftest")
+	if len(targets) == 0 {
+		return fmt.Errorf("specify -addr (comma-separated for multiple targets) or -selftest")
 	}
 
 	// One tick per second of runtime; the burst schedule multiplies the
@@ -120,14 +148,17 @@ func run() error {
 		row[i] = 0.25 * float64(i+1)
 	}
 
-	rep := &report{}
-	client := &server.Client{
-		BaseURL:    base,
-		HTTPClient: &http.Client{Timeout: 2 * *deadline},
-		MaxRetries: *retries,
-		BaseDelay:  10 * time.Millisecond,
-		MaxDelay:   *deadline,
-		Seed:       *seed,
+	rep := &report{okPerTarget: make([]atomic.Int64, len(targets))}
+	clients := make([]*server.Client, len(targets))
+	for i, t := range targets {
+		clients[i] = &server.Client{
+			BaseURL:    t,
+			HTTPClient: &http.Client{Timeout: 2 * *deadline},
+			MaxRetries: *retries,
+			BaseDelay:  10 * time.Millisecond,
+			MaxDelay:   *deadline,
+			Seed:       *seed + int64(i),
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
@@ -135,13 +166,16 @@ func run() error {
 	start := time.Now()
 
 	// Closed loop: every worker waits for its response before sending
-	// the next request. Burst workers only run while the current tick's
-	// factor admits their index.
+	// the next request. Workers are spread round-robin across targets;
+	// burst workers only run while the current tick's factor admits
+	// their index.
 	var wg sync.WaitGroup
 	for w := 0; w < maxWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			target := w % len(targets)
+			client := clients[target]
 			for ctx.Err() == nil {
 				tick := int(time.Since(start).Seconds())
 				if w >= *concurrency*faultinject.FactorAt(schedule, tick) {
@@ -160,6 +194,7 @@ func run() error {
 				switch {
 				case err == nil:
 					rep.ok.Add(1)
+					rep.okPerTarget[target].Add(1)
 					rep.observe(time.Since(t0))
 				case isShed(err):
 					rep.shed.Add(1)
@@ -185,14 +220,25 @@ func run() error {
 	fmt.Printf("duration        %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("attempts        %d\n", attempts)
 	fmt.Printf("ok              %d (%.1f req/s goodput)\n", rep.ok.Load(), goodput)
+	if len(targets) > 1 {
+		for i, t := range targets {
+			fmt.Printf("  target %-2d     %d ok (%s)\n", i, rep.okPerTarget[i].Load(), t)
+		}
+	}
 	fmt.Printf("shed            %d (%.1f%% of attempts)\n", rep.shed.Load(), 100*shedRate)
 	fmt.Printf("deadline-expired %d\n", rep.timeout.Load())
 	fmt.Printf("errors          %d\n", rep.errs.Load())
 	fmt.Printf("latency p50     %v\n", rep.quantile(0.50).Round(time.Microsecond))
 	fmt.Printf("latency p90     %v\n", rep.quantile(0.90).Round(time.Microsecond))
 	fmt.Printf("latency p99     %v\n", rep.quantile(0.99).Round(time.Microsecond))
-	st := client.Stats()
-	fmt.Printf("client          %d round trips, %d retries, %d sheds seen\n", st.Requests, st.Retries, st.Shed)
+	var trips, retriesSeen, shedsSeen int64
+	for _, c := range clients {
+		st := c.Stats()
+		trips += st.Requests
+		retriesSeen += st.Retries
+		shedsSeen += st.Shed
+	}
+	fmt.Printf("client          %d round trips, %d retries, %d sheds seen\n", trips, retriesSeen, shedsSeen)
 	if len(schedule) > 0 {
 		fmt.Printf("bursts          %+v\n", schedule)
 	}
@@ -204,6 +250,20 @@ func run() error {
 		return fmt.Errorf("goodput %.1f req/s below -min-goodput %.1f", goodput, *minGoodput)
 	}
 	return nil
+}
+
+func splitTargets(addr string) []string {
+	if addr == "" {
+		return nil
+	}
+	parts := strings.Split(addr, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func maxFactor(bursts []faultinject.Burst) int {
@@ -227,15 +287,125 @@ func isShed(err error) bool {
 	return se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
 }
 
-// selftestServer builds a synthetic model in a temp dir and serves it
-// with deliberately tiny capacity so sheds actually happen.
-func selftestServer(name string, dims int) (*httptest.Server, func(), error) {
+// fleet is the self-test topology: one or more in-process replica
+// servers, optionally behind an in-process router, each replica killable
+// for chaos runs.
+type fleet struct {
+	url      string
+	down     []*atomic.Bool
+	cleanups []func()
+	ctx      context.Context
+	cancel   context.CancelFunc
+}
+
+func (f *fleet) cleanup() {
+	f.cancel()
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// runChaos flips replica down-flags on the seeded outage schedule, one
+// evaluation per 100ms so outage edges land within a tenth of a tick.
+func (f *fleet) runChaos(outages []faultinject.Outage) {
+	start := time.Now()
+	go func() {
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.ctx.Done():
+				return
+			case <-t.C:
+				tick := int(time.Since(start).Seconds())
+				for i, d := range f.down {
+					d.Store(faultinject.DownAt(outages, i, tick))
+				}
+			}
+		}
+	}()
+}
+
+// killable wraps a replica handler: while down, connections are severed
+// at the TCP level (the closest in-process stand-in for a dead host) and
+// probes fail, so the router's eviction path is exercised for real.
+func killable(h http.Handler, down *atomic.Bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// selftestFleet builds a synthetic model in a temp dir and serves it
+// from n replicas with deliberately tiny capacity so sheds actually
+// happen; n > 1 fronts them with an in-process router.
+func selftestFleet(name string, dims, n int) (*fleet, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &fleet{ctx: ctx, cancel: cancel}
+
 	dir, err := os.MkdirTemp("", "loadgen-selftest-")
 	if err != nil {
-		return nil, nil, err
+		cancel()
+		return nil, err
 	}
-	cleanupDir := func() { os.RemoveAll(dir) }
+	f.cleanups = append(f.cleanups, func() { os.RemoveAll(dir) })
+	if err := writeSyntheticModel(filepath.Join(dir, name+".json"), dims); err != nil {
+		f.cleanup()
+		return nil, err
+	}
 
+	var backends []string
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Config{
+			ModelDir:       dir,
+			MaxBatch:       8,
+			MaxWait:        2 * time.Millisecond,
+			RequestTimeout: 250 * time.Millisecond,
+			MaxInflight:    4,
+			MaxQueue:       8,
+			MaxQueueWait:   30 * time.Millisecond,
+		})
+		if err != nil {
+			f.cleanup()
+			return nil, err
+		}
+		down := &atomic.Bool{}
+		ts := httptest.NewServer(killable(s.Handler(), down))
+		f.down = append(f.down, down)
+		f.cleanups = append(f.cleanups, func() { ts.Close(); s.Close() })
+		backends = append(backends, ts.URL)
+	}
+	if n == 1 {
+		f.url = backends[0]
+		return f, nil
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:      backends,
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		f.cleanup()
+		return nil, err
+	}
+	rt.Start(ctx, nil)
+	ts := httptest.NewServer(rt.Handler())
+	f.cleanups = append(f.cleanups, ts.Close)
+	f.url = ts.URL
+	return f, nil
+}
+
+// writeSyntheticModel drops a small valid model file at path.
+func writeSyntheticModel(path string, dims int) error {
 	protos := mat.NewDense(4, dims)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < dims; j++ {
@@ -247,39 +417,13 @@ func selftestServer(name string, dims int) (*httptest.Server, func(), error) {
 		alpha[j] = 1
 	}
 	m := &ifair.Model{Prototypes: protos, Alpha: alpha, P: 2, Kernel: ifair.ExpKernel, Loss: 0.5}
-	f, err := os.Create(filepath.Join(dir, name+".json"))
+	file, err := os.Create(path)
 	if err != nil {
-		cleanupDir()
-		return nil, nil, err
+		return err
 	}
-	if err := m.Encode(f); err != nil {
-		f.Close()
-		cleanupDir()
-		return nil, nil, err
+	if err := m.Encode(file); err != nil {
+		file.Close()
+		return err
 	}
-	if err := f.Close(); err != nil {
-		cleanupDir()
-		return nil, nil, err
-	}
-
-	s, err := server.New(server.Config{
-		ModelDir:       dir,
-		MaxBatch:       8,
-		MaxWait:        2 * time.Millisecond,
-		RequestTimeout: 250 * time.Millisecond,
-		MaxInflight:    4,
-		MaxQueue:       8,
-		MaxQueueWait:   30 * time.Millisecond,
-	})
-	if err != nil {
-		cleanupDir()
-		return nil, nil, err
-	}
-	ts := httptest.NewServer(s.Handler())
-	cleanup := func() {
-		ts.Close()
-		s.Close()
-		cleanupDir()
-	}
-	return ts, cleanup, nil
+	return file.Close()
 }

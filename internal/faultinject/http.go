@@ -133,3 +133,63 @@ func FactorAt(bursts []Burst, tick int) int {
 	}
 	return 1
 }
+
+// Outage is one phase of a replica-kill chaos schedule: replica Replica
+// is down (partitioned or dead) for Len ticks starting at Start.
+type Outage struct {
+	// Replica indexes the victim in [0, replicas).
+	Replica int
+	// Start is the tick at which the outage begins.
+	Start int
+	// Len is the outage duration in ticks (≥ 1).
+	Len int
+}
+
+// Outages derives n deterministic outages across [0, horizon) ticks from
+// a seed, using the same splitmix64 mixing as Schedule and Bursts. The
+// horizon is sliced into n equal windows with one outage placed inside
+// each, so at most one replica is ever down at a time — the fleet loses
+// capacity, never quorum — and the schedule replays exactly from the
+// seed. Each outage lasts between minLen and maxLen ticks and strikes a
+// seed-chosen replica.
+func Outages(seed int64, n, replicas, horizon, minLen, maxLen int) []Outage {
+	if n < 1 || horizon < 1 || replicas < 1 {
+		return nil
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	window := horizon / n
+	if window < 1 {
+		window = 1
+	}
+	out := make([]Outage, 0, n)
+	for i := 0; i < n; i++ {
+		z := uint64(optimize.RestartSeed(seed, i+1))
+		length := minLen + int(z%uint64(maxLen-minLen+1))
+		if length > window {
+			length = window
+		}
+		slack := window - length
+		start := i * window
+		if slack > 0 {
+			start += int((z >> 16) % uint64(slack+1))
+		}
+		victim := int((z >> 32) % uint64(replicas))
+		out = append(out, Outage{Replica: victim, Start: start, Len: length})
+	}
+	return out
+}
+
+// DownAt reports whether the replica is inside an outage at the tick.
+func DownAt(outages []Outage, replica, tick int) bool {
+	for _, o := range outages {
+		if o.Replica == replica && tick >= o.Start && tick < o.Start+o.Len {
+			return true
+		}
+	}
+	return false
+}

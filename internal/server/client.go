@@ -14,6 +14,11 @@ import (
 	"time"
 )
 
+// maxResponseBytes bounds how much of a response body the client reads —
+// large enough for batched transforms and synced model files, small
+// enough that a runaway server cannot exhaust client memory.
+const maxResponseBytes = 64 << 20
+
 // StatusError is a non-2xx response the client gave up on (or was told
 // not to retry). RetryAfter carries the server's backoff hint, zero if
 // none was sent.
@@ -101,7 +106,9 @@ func (c *Client) Stats() ClientStats {
 }
 
 // backoff returns the sleep before retry attempt (1-based): full jitter
-// over an exponentially growing cap, floored by the server's hint.
+// over an exponentially growing cap, floored by the server's hint. The
+// hint itself is clamped to MaxDelay so a misbehaving (or misparsed)
+// Retry-After can never stall the client beyond its own backoff cap.
 func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
 	ceil := c.baseDelay() << (attempt - 1)
 	if ceil > c.maxDelay() || ceil <= 0 {
@@ -120,20 +127,32 @@ func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
 	if d < hint {
 		d = hint
 	}
+	if max := c.maxDelay(); d > max {
+		d = max
+	}
 	return d
 }
 
-// retryAfter parses an integer-seconds Retry-After header.
+// retryAfter parses a Retry-After header in either RFC 9110 form:
+// delay-seconds ("2") or an HTTP-date ("Mon, 02 Jan 2006 15:04:05 GMT",
+// converted to a delay from now). Garbage and past dates yield 0.
 func retryAfter(resp *http.Response) time.Duration {
 	h := resp.Header.Get("Retry-After")
 	if h == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(h)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Transform sends one row through POST /v1/models/{name}/transform and
@@ -173,6 +192,35 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	data, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// PostRaw posts a pre-marshalled JSON body to path under the client's
+// retry policy and returns the raw response body. Non-200 responses
+// return a *StatusError carrying the decoded error message and the
+// server's Retry-After hint — the building block for proxies that relay
+// bodies without re-encoding them.
+func (c *Client) PostRaw(ctx context.Context, path string, body []byte) ([]byte, error) {
+	return c.do(ctx, http.MethodPost, path, body)
+}
+
+// GetRaw fetches path under the client's retry policy and returns the
+// raw response body.
+func (c *Client) GetRaw(ctx context.Context, path string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, path, nil)
+}
+
+// do retries the round trip under the client's backoff policy until
+// success, a terminal status, retry exhaustion, or ctx expiry —
+// whichever is first.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -180,15 +228,16 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 			c.stats.Retries++
 			c.mu.Unlock()
 		}
-		lastErr = c.roundTrip(ctx, path, body, out)
-		if lastErr == nil {
-			return nil
+		data, err := c.roundTrip(ctx, method, path, body)
+		if err == nil {
+			return data, nil
 		}
+		lastErr = err
 		var se *StatusError
 		retryable := !errors.As(lastErr, &se) ||
 			se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
 		if !retryable || attempt >= c.maxRetries() || ctx.Err() != nil {
-			return lastErr
+			return nil, lastErr
 		}
 		hint := time.Duration(0)
 		if se != nil {
@@ -197,7 +246,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		select {
 		case <-time.After(c.backoff(attempt+1, hint)):
 		case <-ctx.Done():
-			return ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -205,12 +254,18 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 // roundTrip performs one attempt, propagating the remaining ctx budget
 // in the deadline header so the server sheds work this caller would
 // abandon anyway.
-func (c *Client) roundTrip(ctx context.Context, path string, body []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
 			req.Header.Set(TimeoutHeader, strconv.FormatInt(ms, 10))
@@ -221,12 +276,12 @@ func (c *Client) roundTrip(ctx context.Context, path string, body []byte, out an
 	c.mu.Unlock()
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
@@ -239,10 +294,7 @@ func (c *Client) roundTrip(ctx context.Context, path string, body []byte, out an
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &StatusError{Status: resp.StatusCode, Body: msg, RetryAfter: retryAfter(resp)}
+		return nil, &StatusError{Status: resp.StatusCode, Body: msg, RetryAfter: retryAfter(resp)}
 	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(data, out)
+	return data, nil
 }

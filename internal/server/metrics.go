@@ -9,6 +9,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -228,6 +229,40 @@ func (m *Metrics) GaugeFunc(name string, fn func() float64, labels ...string) {
 	m.mu.Lock()
 	m.gauges[key] = fn
 	m.mu.Unlock()
+}
+
+// RegisterProcessMetrics adds process-level health gauges sampled at
+// scrape time: goroutine count, heap bytes, and the p99 GC pause over
+// the runtime's recent-pause ring. Replicas and the router both export
+// them, so fleet dashboards (and the router's probes) can tell a busy
+// backend from a sick one.
+func RegisterProcessMetrics(m *Metrics) {
+	m.GaugeFunc("go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	m.GaugeFunc("go_heap_alloc_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	m.GaugeFunc("go_gc_pause_p99_seconds", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		n := int(ms.NumGC)
+		if n == 0 {
+			return 0
+		}
+		if n > len(ms.PauseNs) {
+			n = len(ms.PauseNs)
+		}
+		pauses := make([]float64, n)
+		for i := 0; i < n; i++ {
+			pauses[i] = float64(ms.PauseNs[i])
+		}
+		sort.Float64s(pauses)
+		idx := int(0.99 * float64(n-1))
+		return pauses[idx] / 1e9
+	})
 }
 
 // WriteTo renders every metric in the Prometheus plain-text format, with

@@ -2,6 +2,7 @@ package server
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -154,5 +155,38 @@ func TestGaugeFuncExposition(t *testing.T) {
 	m.WriteTo(&b) //nolint:errcheck
 	if !strings.Contains(b.String(), "ifair_queue_depth -1\n") {
 		t.Fatalf("gauge function not replaced:\n%s", b.String())
+	}
+}
+
+func TestProcessMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	RegisterProcessMetrics(m)
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_p99_seconds"} {
+		if !strings.Contains(out, name+" ") {
+			t.Fatalf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// The gauges sample live process state at scrape time: a running test
+	// binary always has ≥ 1 goroutine and a non-zero heap.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "go_goroutines", "go_heap_alloc_bytes":
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("%s value %q: %v", fields[0], fields[1], err)
+			}
+			if v <= 0 {
+				t.Fatalf("%s = %v, want > 0", fields[0], v)
+			}
+		}
 	}
 }

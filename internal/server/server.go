@@ -120,6 +120,7 @@ type Server struct {
 	batcher  *Batcher
 	limiter  *admission.Limiter
 	metrics  *Metrics
+	syncCRCs crcCache
 	ready    atomic.Bool
 }
 
@@ -133,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 		registry: NewRegistry(cfg.ModelDir),
 		metrics:  NewMetrics(),
 	}
+	RegisterProcessMetrics(s.metrics)
 	s.batcher = NewBatcher(BatcherConfig{
 		MaxBatch:     cfg.MaxBatch,
 		MaxWait:      cfg.MaxWait,
@@ -197,6 +199,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
 	mux.Handle("GET /v1/models", s.instrument("/v1/models", false, s.handleListModels))
+	mux.Handle("GET /v1/sync/manifest", s.instrument("/v1/sync/manifest", false, s.handleSyncManifest))
+	mux.Handle("GET /v1/sync/files/{file}", s.instrument("/v1/sync/files", false, s.handleSyncFile))
 	mux.Handle("POST /v1/models/{name}/transform", s.instrument("/v1/models/transform", true, s.handleTransform))
 	mux.Handle("POST /v1/models/{name}/probabilities", s.instrument("/v1/models/probabilities", true, s.handleProbabilities))
 	return mux

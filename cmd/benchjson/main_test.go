@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +48,51 @@ func TestParseSkipsNonBenchLines(t *testing.T) {
 	}
 	if len(results) != 0 {
 		t.Fatalf("parsed %d results from noise", len(results))
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	baseline := `[
+		{"name": "BenchmarkServerTransform", "procs": 8, "iterations": 100, "ns_per_op": 33000,
+		 "metrics": {"allocs/op": 0, "B/op": 3}},
+		{"name": "BenchmarkMicroBatcher", "procs": 8, "iterations": 100, "ns_per_op": 1100000,
+		 "metrics": {"allocs/op": 10, "B/op": 589}}
+	]`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, allocs float64) Result {
+		return Result{Name: name, Metrics: map[string]float64{"allocs/op": allocs}}
+	}
+
+	// Within slack: a zero baseline must stay exactly zero, a non-zero
+	// one gets proportional headroom (10 + ceil(10*25%) = 13).
+	ok := []Result{mk("BenchmarkServerTransform", 0), mk("BenchmarkMicroBatcher", 13)}
+	regs, err := compareAllocs(path, ok, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Over slack: both must be flagged.
+	bad := []Result{mk("BenchmarkServerTransform", 1), mk("BenchmarkMicroBatcher", 14)}
+	regs, err = compareAllocs(path, bad, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+
+	// Benchmarks absent from the baseline are never gated.
+	regs, err = compareAllocs(path, []Result{mk("BenchmarkBrandNew", 999)}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("new benchmark gated: %v", regs)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fairrank"
 	"repro/internal/ifair"
+	"repro/internal/kernel"
 	"repro/internal/knn"
 	"repro/internal/lfr"
 	"repro/internal/linmodel"
@@ -136,6 +137,36 @@ func TransformRow(m *Model, x []float64) ([]float64, error) { return m.Transform
 // Probabilities returns the prototype-membership distribution u for one
 // record, returning an error instead of panicking on malformed input.
 func Probabilities(m *Model, x []float64) ([]float64, error) { return m.ProbabilitiesChecked(x) }
+
+// ---- serving kernels ----
+//
+// Repeated transforms (a serving loop, a batch pipeline) should compile
+// the fitted model once into an immutable CompiledKernel and call its
+// destination-passing methods: the per-row fused transform touches one
+// contiguous parameter block, draws scratch from an internal pool and
+// performs zero heap allocations. The deprecated panicking Model methods
+// (Transform, TransformRow, Probabilities) remain as thin wrappers; new
+// code migrates to CompileKernel + TransformRowInto/TransformInto, or to
+// the checked package-level functions above for one-off calls.
+
+// CompiledKernel is an immutable, concurrency-safe serving kernel
+// compiled from a fitted model: contiguous parameters, precomputed
+// prototype norms, pooled scratch, allocation-free *Into transforms.
+type CompiledKernel = kernel.CompiledKernel
+
+// DType selects the numeric representation a kernel is compiled to.
+type DType = kernel.DType
+
+const (
+	// Float64 reproduces the model's own transform bit for bit.
+	Float64 = kernel.Float64
+	// Float32 halves parameter bandwidth within a documented (~2e-3)
+	// tolerance of the float64 path — the serving tier's -float32 flag.
+	Float32 = kernel.Float32
+)
+
+// CompileKernel validates m and compiles it into a serving kernel.
+func CompileKernel(m *Model, dtype DType) (*CompiledKernel, error) { return m.Compile(dtype) }
 
 // DecodeModel reads a model previously serialised with Model.Encode.
 var DecodeModel = ifair.DecodeModel

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/linmodel"
 	"repro/internal/mat"
 	"repro/internal/metrics"
@@ -223,8 +224,31 @@ func eliminator(u []float64) *mat.Dense {
 	return e
 }
 
+// Compile compiles the censoring projection into an immutable serving
+// kernel (see internal/kernel) whose row transform is bit-identical to
+// mat.Mul(x, P).
+func (md *Model) Compile() (*kernel.Projection, error) {
+	return kernel.CompileProjection(md.P)
+}
+
+// TransformInto maps every row of x into the matching row of dst (which
+// must be x.Rows()×P.Cols(), must not share backing storage with x, and
+// is fully overwritten) using up to workers goroutines — bit-identical
+// to Transform for every worker count.
+func (md *Model) TransformInto(dst, x *mat.Dense, workers int) error {
+	proj, err := md.Compile()
+	if err != nil {
+		return err
+	}
+	return proj.TransformInto(dst, x, workers)
+}
+
 // Transform maps records through the censoring projection, keeping the
 // original dimensionality like every other representation method.
 func (md *Model) Transform(x *mat.Dense) *mat.Dense {
-	return mat.Mul(x, md.P)
+	out := mat.NewDense(x.Rows(), md.P.Cols())
+	if err := md.TransformInto(out, x, 1); err != nil {
+		panic(err.Error())
+	}
+	return out
 }

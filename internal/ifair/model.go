@@ -4,14 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mat"
-	"repro/internal/par"
 )
-
-// transformScratch recycles the K-length membership scratch slices the
-// chunked transform hands each chunk, so repeated batch transforms (the
-// serving hot path) don't allocate per chunk.
-var transformScratch par.Arena
 
 // Model is a fitted iFair representation: K prototype vectors and the
 // attribute-weight vector α of the distance function (Def. 7). A model is
@@ -98,6 +93,31 @@ func (m *Model) Validate() error {
 	return nil
 }
 
+// Compile compiles the model into an immutable serving kernel (see
+// internal/kernel): parameters laid out contiguously, prototype norms
+// precomputed, scratch pooled, so the per-row transform allocates
+// nothing. The Float64 dtype is bit-identical to the model's own
+// Transform; Float32 halves parameter bandwidth within the tolerance
+// documented in the kernel package. Compile validates the model first.
+// Serving paths should compile once per model version and reuse the
+// kernel, as the registry in internal/server does.
+func (m *Model) Compile(dtype kernel.DType) (*kernel.CompiledKernel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	membership := kernel.Exp
+	if m.Kernel == InverseKernel {
+		membership = kernel.Inverse
+	}
+	return kernel.Compile(kernel.Spec{
+		Prototypes: m.Prototypes,
+		Alpha:      m.Alpha,
+		P:          m.P,
+		TakeRoot:   m.TakeRoot,
+		Membership: membership,
+	}, dtype)
+}
+
 // checkRecord verifies that a record matches the model's dimensionality.
 func (m *Model) checkRecord(x []float64) error {
 	if len(x) != m.Dims() {
@@ -168,8 +188,12 @@ func (m *Model) ProbabilitiesChecked(x []float64) ([]float64, error) {
 // Probabilities returns the cluster-membership distribution u_i for a
 // single record. Under the default ExpKernel this is Def. 8:
 // u_ik = softmax_k(−d(x_i, v_k)); under InverseKernel the weights are
-// 1/(1 + d), normalised. It panics on dimension mismatch; use
-// ProbabilitiesChecked to get an error instead.
+// 1/(1 + d), normalised.
+//
+// Deprecated: thin panicking wrapper kept for source compatibility. Use
+// ProbabilitiesChecked for an error on malformed input, or compile the
+// model (Compile) and call CompiledKernel.ProbabilitiesInto for the
+// allocation-free serving path.
 func (m *Model) Probabilities(x []float64) []float64 {
 	u, err := m.ProbabilitiesChecked(x)
 	if err != nil {
@@ -191,8 +215,12 @@ func (m *Model) TransformRowChecked(x []float64) ([]float64, error) {
 }
 
 // TransformRow maps one record to its fair representation
-// x̃ = Σ_k u_k·v_k (Def. 3). It panics on dimension mismatch; use
-// TransformRowChecked to get an error instead.
+// x̃ = Σ_k u_k·v_k (Def. 3).
+//
+// Deprecated: thin panicking wrapper kept for source compatibility. Use
+// TransformRowChecked for an error on malformed input, or compile the
+// model (Compile) and call CompiledKernel.TransformRowInto for the
+// allocation-free serving path.
 func (m *Model) TransformRow(x []float64) []float64 {
 	out, err := m.TransformRowChecked(x)
 	if err != nil {
@@ -208,8 +236,12 @@ func (m *Model) TransformChecked(x *mat.Dense) (*mat.Dense, error) {
 }
 
 // Transform maps every row of x to its fair representation, returning the
-// M×N matrix X̃ = U·Vᵀ of Def. 2. It panics on dimension mismatch; use
-// TransformChecked to get an error instead.
+// M×N matrix X̃ = U·Vᵀ of Def. 2.
+//
+// Deprecated: thin panicking wrapper kept for source compatibility. Use
+// TransformChecked for an error on malformed input, or TransformInto /
+// a compiled kernel to supply the destination and avoid the per-call
+// allocation.
 func (m *Model) Transform(x *mat.Dense) *mat.Dense {
 	out, err := m.TransformChecked(x)
 	if err != nil {
@@ -218,24 +250,38 @@ func (m *Model) Transform(x *mat.Dense) *mat.Dense {
 	return out
 }
 
+// TransformInto transforms every row of x into the matching row of dst
+// (which must be x.Rows()×Dims, must not share backing storage with x,
+// and is fully overwritten, never retained) using up to workers
+// goroutines. It compiles a float64 kernel per call — validating the
+// model in the process — so the result is bit-identical to Transform
+// for any worker count; serving paths that transform repeatedly should
+// Compile once and call the kernel directly.
+func (m *Model) TransformInto(dst, x *mat.Dense, workers int) error {
+	if cols := x.Cols(); cols != m.Dims() {
+		return fmt.Errorf("ifair: data has %d attributes, model expects %d", cols, m.Dims())
+	}
+	kern, err := m.Compile(kernel.Float64)
+	if err != nil {
+		return err
+	}
+	return kern.TransformInto(dst, x, workers)
+}
+
 // TransformParallelChecked transforms every row of x using up to workers
-// goroutines over a par.Chunks row plan. Row chunking only changes which
-// goroutine computes a row, never its value, so the result is
-// bit-identical to Transform for any worker count. workers ≤ 1 runs
-// inline.
+// goroutines through a compiled float64 kernel. Row chunking only
+// changes which goroutine computes a row, never its value, so the
+// result is bit-identical to Transform for any worker count. workers ≤ 1
+// runs inline.
 func (m *Model) TransformParallelChecked(x *mat.Dense, workers int) (*mat.Dense, error) {
 	rows, cols := x.Dims()
 	if cols != m.Dims() {
 		return nil, fmt.Errorf("ifair: data has %d attributes, model expects %d", cols, m.Dims())
 	}
 	out := mat.NewDense(rows, cols)
-	par.Chunks(rows).Run(workers, func(_, lo, hi int) {
-		u := transformScratch.Get(m.K()) // per-chunk membership scratch
-		for i := lo; i < hi; i++ {
-			m.transformRowInto(x.Row(i), u, out.Row(i))
-		}
-		transformScratch.Put(u)
-	})
+	if err := m.TransformInto(out, x, workers); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -249,15 +295,31 @@ func (m *Model) TransformParallel(x *mat.Dense, workers int) *mat.Dense {
 	return out
 }
 
-// Memberships returns the full M×K probability matrix U for the rows of x.
-func (m *Model) Memberships(x *mat.Dense) *mat.Dense {
+// MembershipsInto writes the membership distribution of every row of x
+// into the matching row of dst, which must be x.Rows()×K, must not
+// share backing storage with x, and is fully overwritten (never
+// retained). No allocation is performed.
+func (m *Model) MembershipsInto(dst, x *mat.Dense) error {
 	rows, cols := x.Dims()
 	if cols != m.Dims() {
-		panic(fmt.Sprintf("ifair: data has %d attributes, model expects %d", cols, m.Dims()))
+		return fmt.Errorf("ifair: data has %d attributes, model expects %d", cols, m.Dims())
 	}
-	out := mat.NewDense(rows, m.K())
+	if dr, dc := dst.Dims(); dr != rows || dc != m.K() {
+		return fmt.Errorf("ifair: membership destination is %d×%d, want %d×%d", dr, dc, rows, m.K())
+	}
 	for i := 0; i < rows; i++ {
-		m.probabilitiesInto(x.Row(i), out.Row(i))
+		m.probabilitiesInto(x.Row(i), dst.Row(i))
+	}
+	return nil
+}
+
+// Memberships returns the full M×K probability matrix U for the rows of
+// x, panicking on dimension mismatch; MembershipsInto is the checked,
+// non-allocating variant.
+func (m *Model) Memberships(x *mat.Dense) *mat.Dense {
+	out := mat.NewDense(x.Rows(), m.K())
+	if err := m.MembershipsInto(out, x); err != nil {
+		panic(err.Error())
 	}
 	return out
 }

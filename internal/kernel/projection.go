@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+)
+
+// Projection is a compiled linear-map kernel x̃ = x·P, the serving form
+// of the adversarial censoring baseline. It evaluates rows in exactly
+// the inner-loop order of mat.Mul (including the skip on zero input
+// entries), so its output is bit-identical to mat.Mul(x, P) for every
+// worker count. Like CompiledKernel it is immutable, concurrency-safe
+// and allocation-free per call, and follows the package aliasing
+// contract: dst never aliases x and is never retained.
+type Projection struct {
+	n, out int
+	p      []float64 // row-major n×out copy of P
+}
+
+// CompileProjection validates and copies the N×M projection matrix P.
+func CompileProjection(p *mat.Dense) (*Projection, error) {
+	if p == nil {
+		return nil, fmt.Errorf("kernel: projection has no matrix")
+	}
+	n, out := p.Dims()
+	if n <= 0 || out <= 0 {
+		return nil, fmt.Errorf("kernel: invalid projection dimensions %d×%d", n, out)
+	}
+	for i, v := range p.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("kernel: non-finite projection entry %d: %v", i, v)
+		}
+	}
+	return &Projection{n: n, out: out, p: append([]float64(nil), p.Data()...)}, nil
+}
+
+// Dims returns the input dimensionality.
+func (pr *Projection) Dims() int { return pr.n }
+
+// OutDims returns the output dimensionality.
+func (pr *Projection) OutDims() int { return pr.out }
+
+// transformRowInto writes x·P into dst with mat.Mul's row arithmetic.
+func (pr *Projection) transformRowInto(dst, x []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for k, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := pr.p[k*pr.out : (k+1)*pr.out]
+		for j, pv := range row {
+			dst[j] += xv * pv
+		}
+	}
+}
+
+// TransformRowInto writes the projected record x·P into dst (length
+// OutDims). dst must not alias x; it is fully overwritten and never
+// retained.
+func (pr *Projection) TransformRowInto(dst, x []float64) error {
+	if len(x) != pr.n {
+		return fmt.Errorf("kernel: record has %d attributes, projection expects %d", len(x), pr.n)
+	}
+	if len(dst) != pr.out {
+		return fmt.Errorf("kernel: destination has %d cells, want %d", len(dst), pr.out)
+	}
+	pr.transformRowInto(dst, x)
+	return nil
+}
+
+// TransformInto projects every row of x into the matching row of dst
+// using up to workers goroutines; output rows are chunk-exclusive, so
+// the result is bit-identical for every worker count. dst must be
+// x.Rows()×OutDims and must not share backing storage with x.
+func (pr *Projection) TransformInto(dst, x *mat.Dense, workers int) error {
+	rows, cols := x.Dims()
+	if cols != pr.n {
+		return fmt.Errorf("kernel: data has %d attributes, projection expects %d", cols, pr.n)
+	}
+	if dr, dc := dst.Dims(); dr != rows || dc != pr.out {
+		return fmt.Errorf("kernel: destination is %d×%d, want %d×%d", dr, dc, rows, pr.out)
+	}
+	if workers <= 1 {
+		for i := 0; i < rows; i++ {
+			pr.transformRowInto(dst.Row(i), x.Row(i))
+		}
+		return nil
+	}
+	par.Chunks(rows).Run(workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pr.transformRowInto(dst.Row(i), x.Row(i))
+		}
+	})
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package kernel_test
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops items at random under the detector, so pooled-
+// scratch allocation assertions only hold without it.
+const raceEnabled = false

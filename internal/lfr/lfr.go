@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/optimize"
 )
@@ -181,12 +182,36 @@ func (md *Model) TransformRow(x []float64) []float64 {
 	return out
 }
 
+// Compile compiles the fitted model into an immutable serving kernel
+// (see internal/kernel): unweighted squared-Euclidean distances with
+// softmax memberships. The Float64 dtype is bit-identical to
+// TransformRow; Float32 is the documented-tolerance bandwidth option.
+func (md *Model) Compile(dtype kernel.DType) (*kernel.CompiledKernel, error) {
+	return kernel.Compile(kernel.Spec{
+		Prototypes: md.Prototypes,
+		P:          2,
+		Membership: kernel.Exp,
+	}, dtype)
+}
+
+// TransformInto maps every row of x into the matching row of dst (which
+// must be x.Rows()×Cols, must not share backing storage with x, and is
+// fully overwritten) using up to workers goroutines, through a compiled
+// float64 kernel — bit-identical to Transform for every worker count.
+func (md *Model) TransformInto(dst, x *mat.Dense, workers int) error {
+	kern, err := md.Compile(kernel.Float64)
+	if err != nil {
+		return err
+	}
+	return kern.TransformInto(dst, x, workers)
+}
+
 // Transform maps every row of x.
 func (md *Model) Transform(x *mat.Dense) *mat.Dense {
 	rows, cols := x.Dims()
 	out := mat.NewDense(rows, cols)
-	for i := 0; i < rows; i++ {
-		copy(out.Row(i), md.TransformRow(x.Row(i)))
+	if err := md.TransformInto(out, x, 1); err != nil {
+		panic(err.Error())
 	}
 	return out
 }

@@ -86,8 +86,11 @@ func (m *Dense) check(i, j int) {
 	}
 }
 
-// Row returns row i as a slice aliasing the matrix storage.
-// Mutating the returned slice mutates the matrix.
+// Row returns row i as a slice ALIASING the matrix storage: mutating
+// the returned slice mutates the matrix, and the slice stays valid (and
+// live) for as long as the matrix does. Callers that hand the slice to
+// pooled or retained buffers must copy it first. Contrast Col, which
+// returns a copy.
 func (m *Dense) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
@@ -95,7 +98,12 @@ func (m *Dense) Row(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
-// Col returns a copy of column j.
+// Col returns a COPY of column j: column storage is strided, so unlike
+// Row the result cannot alias the matrix. Mutating it never affects the
+// matrix, and the caller owns the returned slice outright. This
+// Row-aliases/Col-copies asymmetry is deliberate (a column view would
+// need a stride type the package doesn't carry) — every caller that
+// switches between the two accessors must account for it.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
@@ -107,10 +115,27 @@ func (m *Dense) Col(j int) []float64 {
 	return out
 }
 
-// Data returns the backing row-major slice. Mutations are visible.
+// Data returns the backing row-major slice, ALIASING the matrix:
+// mutations are visible in both directions and the slice must not be
+// recycled while the matrix is in use. NewDenseData is the inverse
+// (wraps without copying); FromRows and Clone are the copying builders.
 func (m *Dense) Data() []float64 { return m.data }
 
-// Clone returns a deep copy.
+// Reset re-points m at data (length rows*cols, row-major, ALIASED like
+// NewDenseData) without allocating, so long-lived pooled matrix headers
+// can be re-shaped around recycled backing slices. Any previous backing
+// is simply dropped.
+func (m *Dense) Reset(rows, cols int, data []float64) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d does not match %d×%d", len(data), rows, cols))
+	}
+	m.rows, m.cols, m.data = rows, cols, data
+}
+
+// Clone returns a deep copy sharing no storage with the receiver.
 func (m *Dense) Clone() *Dense {
 	c := NewDense(m.rows, m.cols)
 	copy(c.data, m.data)
@@ -129,25 +154,14 @@ func (m *Dense) T() *Dense {
 	return t
 }
 
-// Mul returns the matrix product a*b.
+// Mul returns the matrix product a*b as a new matrix. MulInto is the
+// non-allocating variant when a destination is available.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := NewDense(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MulInto(out, a, b)
 	return out
 }
 
@@ -163,32 +177,29 @@ func (m *Dense) MulVec(x []float64) []float64 {
 	return out
 }
 
-// Add returns a+b.
+// Add returns a+b as a new matrix; AddInto is the non-allocating
+// variant.
 func Add(a, b *Dense) *Dense {
 	sameDims(a, b, "Add")
-	out := a.Clone()
-	for i, v := range b.data {
-		out.data[i] += v
-	}
+	out := NewDense(a.rows, a.cols)
+	AddInto(out, a, b)
 	return out
 }
 
-// Sub returns a−b.
+// Sub returns a−b as a new matrix; SubInto is the non-allocating
+// variant.
 func Sub(a, b *Dense) *Dense {
 	sameDims(a, b, "Sub")
-	out := a.Clone()
-	for i, v := range b.data {
-		out.data[i] -= v
-	}
+	out := NewDense(a.rows, a.cols)
+	SubInto(out, a, b)
 	return out
 }
 
-// Scale returns c·a as a new matrix.
+// Scale returns c·a as a new matrix; ScaleInto is the non-allocating
+// variant.
 func Scale(c float64, a *Dense) *Dense {
-	out := a.Clone()
-	for i := range out.data {
-		out.data[i] *= c
-	}
+	out := NewDense(a.rows, a.cols)
+	ScaleInto(out, c, a)
 	return out
 }
 

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/mat"
-	"repro/internal/par"
 )
 
 // ErrBusy rejects a row because its model already has MaxPending rows
@@ -16,24 +15,47 @@ import (
 // layer maps it to 429 + Retry-After.
 var ErrBusy = errors.New("server: batcher at capacity")
 
-// batchScratch recycles the row-major staging buffers batches are copied
-// into before the batched transform, so a steady request stream does not
-// allocate a fresh input matrix per flush. Output matrices are NOT
-// pooled: their rows are handed to the waiting request goroutines.
-var batchScratch par.Arena
+// flushScratch is the pooled staging workspace of one flush: the input
+// rows and the transform output share one backing slice, and the two
+// matrix headers are re-pointed at it per batch (mat.Reset), so a steady
+// request stream allocates nothing per flush — results are copied into
+// each caller's own dst before the scratch returns to the pool.
+type flushScratch struct {
+	backing []float64
+	x, xt   mat.Dense
+}
+
+// stage shapes the scratch for a rows×dims batch, growing the backing
+// if needed.
+func (s *flushScratch) stage(rows, dims int) {
+	if need := 2 * rows * dims; cap(s.backing) < need {
+		s.backing = make([]float64, need)
+	} else {
+		s.backing = s.backing[:need]
+	}
+	s.x.Reset(rows, dims, s.backing[:rows*dims])
+	s.xt.Reset(rows, dims, s.backing[rows*dims:])
+}
+
+var flushPool = sync.Pool{New: func() any { return new(flushScratch) }}
 
 // batchResult carries one transformed row (or the batch-level error) back
-// to the waiting request goroutine.
+// to the waiting request goroutine. On success row is the caller's own
+// dst; the channel send orders the flush's writes before the caller's
+// reads.
 type batchResult struct {
 	row []float64
 	err error
 }
 
 // pendingRow is one enqueued single-row request. ctx lets the flush skip
-// rows whose caller has already given up.
+// rows whose caller has already given up. dst is the caller-owned
+// destination the flush copies the transformed row into; the flush never
+// retains it past the result send.
 type pendingRow struct {
 	ctx context.Context
 	row []float64
+	dst []float64
 	out chan batchResult // buffered(1): flush never blocks on a gone caller
 }
 
@@ -105,9 +127,10 @@ func (c *BatcherConfig) fillDefaults() {
 type Batcher struct {
 	cfg BatcherConfig
 
-	// transform is the batched transform — overridable by tests to
-	// inject failures the real model cannot produce (e.g. panics).
-	transform func(e *Entry, x *mat.Dense, workers int) (*mat.Dense, error)
+	// transform is the batched transform, writing every row of x into
+	// the matching row of dst — overridable by tests to inject failures
+	// the real kernel cannot produce (e.g. panics).
+	transform func(e *Entry, dst, x *mat.Dense, workers int) error
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled when jobs arrive or the batcher closes
@@ -123,8 +146,12 @@ func NewBatcher(cfg BatcherConfig) *Batcher {
 	cfg.fillDefaults()
 	b := &Batcher{
 		cfg: cfg,
-		transform: func(e *Entry, x *mat.Dense, workers int) (*mat.Dense, error) {
-			return e.Model.TransformParallelChecked(x, workers)
+		transform: func(e *Entry, dst, x *mat.Dense, workers int) error {
+			kern, err := e.Kernel()
+			if err != nil {
+				return err
+			}
+			return kern.TransformInto(dst, x, workers)
 		},
 		queues:  make(map[string]*modelQueue),
 		pending: make(map[string]int),
@@ -134,17 +161,42 @@ func NewBatcher(cfg BatcherConfig) *Batcher {
 }
 
 // TransformRow transforms one row through the named model entry,
-// coalescing with other concurrent rows for the same (name, version).
-// It blocks until the row's batch is flushed or ctx is done, and sheds
-// with ErrBusy when the model's pending-row cap is reached.
+// allocating the result row. TransformRowInto is the destination-passing
+// variant serving paths with a reusable buffer should call.
 func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64) ([]float64, error) {
-	// Validate eagerly so a malformed row errors immediately instead of
-	// poisoning the whole batch it would have joined.
-	if _, err := entry.Model.ProbabilitiesChecked(row); err != nil {
+	dst := make([]float64, entry.Model.Dims())
+	if err := b.TransformRowInto(ctx, entry, dst, row); err != nil {
 		return nil, err
 	}
+	return dst, nil
+}
+
+// TransformRowInto transforms one row through the named model entry into
+// dst (length Dims), coalescing with other concurrent rows for the same
+// (name, version). It blocks until the row's batch is flushed or ctx is
+// done, and sheds with ErrBusy when the model's pending-row cap is
+// reached.
+//
+// Ownership: on a nil return dst holds the transformed row and is the
+// caller's again. On ANY error — including ctx expiry — a late flush may
+// still write dst, so the caller must not recycle it into a pool; the
+// row buffer may likewise still be read. (Handlers therefore only pool
+// buffers from successful calls.)
+func (b *Batcher) TransformRowInto(ctx context.Context, entry *Entry, dst, row []float64) error {
+	kern, err := entry.Kernel()
+	if err != nil {
+		return err
+	}
+	// Validate eagerly so a malformed row errors immediately instead of
+	// poisoning the whole batch it would have joined.
+	if len(row) != kern.Dims() {
+		return fmt.Errorf("server: record has %d attributes, model %s expects %d", len(row), entry.Key(), kern.Dims())
+	}
+	if len(dst) != kern.OutDims() {
+		return fmt.Errorf("server: destination has %d cells, model %s produces %d", len(dst), entry.Key(), kern.OutDims())
+	}
 	if b.cfg.MaxBatch == 1 || b.cfg.MaxWait <= 0 {
-		return entry.Model.TransformRowChecked(row)
+		return kern.TransformRowInto(dst, row)
 	}
 
 	out := make(chan batchResult, 1)
@@ -155,7 +207,7 @@ func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64)
 		if b.cfg.Shed != nil {
 			b.cfg.Shed.Inc()
 		}
-		return nil, fmt.Errorf("%w: model %s has %d pending rows", ErrBusy, key, b.cfg.MaxPending)
+		return fmt.Errorf("%w: model %s has %d pending rows", ErrBusy, key, b.cfg.MaxPending)
 	}
 	q := b.queues[key]
 	// A hot-reload can swap the model behind a key; never mix rows from
@@ -176,7 +228,7 @@ func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64)
 			b.mu.Unlock()
 		})
 	}
-	q.rows = append(q.rows, pendingRow{ctx: ctx, row: row, out: out})
+	q.rows = append(q.rows, pendingRow{ctx: ctx, row: row, dst: dst, out: out})
 	b.pending[key]++
 	if len(q.rows) >= b.cfg.MaxBatch {
 		b.flushLocked(key, q)
@@ -185,9 +237,9 @@ func (b *Batcher) TransformRow(ctx context.Context, entry *Entry, row []float64)
 
 	select {
 	case res := <-out:
-		return res.row, res.err
+		return res.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 }
 
@@ -276,22 +328,28 @@ func (b *Batcher) runJob(job flushJob) {
 	if b.cfg.Sizes != nil {
 		b.cfg.Sizes.Observe(float64(len(live)))
 	}
+	// Results are copied into each caller's dst before its result send
+	// (the send orders the copy before the caller's reads), so the
+	// pooled staging never escapes the flush.
 	dims := job.entry.Model.Dims()
-	backing := batchScratch.Get(len(live) * dims)
-	x := mat.NewDenseData(len(live), dims, backing)
+	s := flushPool.Get().(*flushScratch)
+	s.stage(len(live), dims)
 	for i, p := range live {
-		copy(x.Row(i), p.row)
+		copy(s.x.Row(i), p.row)
 	}
-	xt, err := b.transform(job.entry, x, b.cfg.Workers)
-	batchScratch.Put(backing)
+	err := b.transform(job.entry, &s.xt, &s.x, b.cfg.Workers)
 	for i, p := range live {
 		if err != nil {
 			p.out <- batchResult{err: err}
 		} else {
-			p.out <- batchResult{row: xt.Row(i)}
+			copy(p.dst, s.xt.Row(i))
+			p.out <- batchResult{row: p.dst}
 		}
 		delivered = i + 1
 	}
+	// Recycled only on the non-panic path: after a recovered transform
+	// panic, stray goroutines could still be writing the scratch.
+	flushPool.Put(s)
 }
 
 // PendingRows returns the total rows enqueued or in flight across all

@@ -210,7 +210,7 @@ func TestBatcherFlushPanicDeliversError(t *testing.T) {
 	panics := &Counter{}
 	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: 5 * time.Millisecond, Workers: 1, FlushPanics: panics})
 	defer b.Close()
-	b.transform = func(*Entry, *mat.Dense, int) (*mat.Dense, error) {
+	b.transform = func(*Entry, *mat.Dense, *mat.Dense, int) error {
 		panic("injected transform panic")
 	}
 
@@ -247,8 +247,8 @@ func TestBatcherFlushPanicDeliversError(t *testing.T) {
 		t.Fatal("batcher_flush_panics counter not incremented")
 	}
 	// The batcher must keep working after a panicked flush.
-	b.transform = func(e *Entry, x *mat.Dense, workers int) (*mat.Dense, error) {
-		return e.Model.TransformParallelChecked(x, workers)
+	b.transform = func(e *Entry, dst, x *mat.Dense, workers int) error {
+		return e.Model.TransformInto(dst, x, workers)
 	}
 	got, err := b.TransformRow(context.Background(), entry, []float64{1, 2})
 	if err != nil {
@@ -308,9 +308,9 @@ func TestBatcherSkipsAbandonedRows(t *testing.T) {
 	b := NewBatcher(BatcherConfig{MaxBatch: 1000, MaxWait: 40 * time.Millisecond, Workers: 1, Abandoned: abandoned})
 	defer b.Close()
 	var transformed atomic.Int64
-	b.transform = func(e *Entry, x *mat.Dense, workers int) (*mat.Dense, error) {
+	b.transform = func(e *Entry, dst, x *mat.Dense, workers int) error {
 		transformed.Add(int64(x.Rows()))
-		return e.Model.TransformParallelChecked(x, workers)
+		return e.Model.TransformInto(dst, x, workers)
 	}
 
 	// The caller's context expires inside the batch window: by flush

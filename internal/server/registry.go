@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/ifair"
+	"repro/internal/kernel"
 )
 
 // Entry is one loaded model in the registry.
@@ -25,10 +26,32 @@ type Entry struct {
 	Model *ifair.Model
 	// Path is the file the entry was loaded from.
 	Path string
+	// DType selects the numeric representation Kernel compiles to
+	// (zero value: kernel.Float64). Set before the first Kernel call;
+	// the registry stamps it from its configured dtype.
+	DType kernel.DType
 
 	// modTime and size detect changed files across reloads.
 	modTime time.Time
 	size    int64
+
+	// kern is the entry's compiled serving kernel, built on first use.
+	// Compiling per entry (not per request) is what makes hot reloads
+	// cheap and scratch reuse safe: a new model version is a new Entry
+	// with its own immutable kernel and private scratch pool.
+	once    sync.Once
+	kern    *kernel.CompiledKernel
+	kernErr error
+}
+
+// Kernel returns the entry's compiled serving kernel, compiling it from
+// the model on first use (with the entry's DType). The kernel is
+// immutable and safe for concurrent use; its per-call scratch never
+// outlives the entry, so a hot reload can never leak scratch across
+// model versions.
+func (e *Entry) Kernel() (*kernel.CompiledKernel, error) {
+	e.once.Do(func() { e.kern, e.kernErr = e.Model.Compile(e.DType) })
+	return e.kern, e.kernErr
 }
 
 // Key returns the canonical "<name>@v<version>" identity of the entry.
@@ -54,6 +77,10 @@ type Info struct {
 type Registry struct {
 	dir string
 
+	// dtype is stamped onto new entries so their kernels compile to the
+	// configured representation; set once before the first Reload.
+	dtype kernel.DType
+
 	// failures counts model files that failed to (re)load; exported to
 	// /metrics as registry_reload_failures via SetFailureCounter.
 	failures *Counter
@@ -71,6 +98,11 @@ func NewRegistry(dir string) *Registry {
 // SetFailureCounter redirects the reload-failure count to c (typically a
 // counter registered in a Metrics table). Call before the first Reload.
 func (r *Registry) SetFailureCounter(c *Counter) { r.failures = c }
+
+// SetDType selects the numeric representation new entries compile their
+// serving kernels to (default kernel.Float64). Call before the first
+// Reload; entries already loaded keep their dtype until replaced.
+func (r *Registry) SetDType(dt kernel.DType) { r.dtype = dt }
 
 // ReloadFailures returns how many file loads have failed across all
 // reloads so far.
@@ -162,7 +194,7 @@ func (r *Registry) Reload() (loaded, reused int, err error) {
 		}
 		next[name] = append(next[name], &Entry{
 			Name: name, Version: version, Model: model, Path: path,
-			modTime: fi.ModTime(), size: fi.Size(),
+			DType: r.dtype, modTime: fi.ModTime(), size: fi.Size(),
 		})
 		loaded++
 	}

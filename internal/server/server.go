@@ -13,8 +13,18 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
+
+// rowScratch recycles the handlers' staging and result buffers (request
+// rows, transformed rows, membership rows) so steady traffic does not
+// allocate a fresh matrix per request. Buffers return to the pool only
+// after the response is encoded — and, on the micro-batched path, only
+// after a successful call (see Batcher.TransformRowInto's ownership
+// rule).
+var rowScratch par.Arena
 
 // Config sizes the serving subsystem.
 type Config struct {
@@ -61,6 +71,12 @@ type Config struct {
 	// beyond it single-row requests are shed with 429 (default
 	// 16×MaxBatch; negative means unlimited).
 	MaxPending int
+
+	// Float32 compiles serving kernels to the float32 representation:
+	// half the parameter and scratch bandwidth, outputs within the
+	// tolerance documented in internal/kernel of the float64 path.
+	// Training-side APIs are unaffected.
+	Float32 bool
 }
 
 func (c *Config) fillDefaults() {
@@ -133,6 +149,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		registry: NewRegistry(cfg.ModelDir),
 		metrics:  NewMetrics(),
+	}
+	if cfg.Float32 {
+		s.registry.SetDType(kernel.Float32)
 	}
 	RegisterProcessMetrics(s.metrics)
 	s.batcher = NewBatcher(BatcherConfig{
@@ -384,27 +403,47 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out := make([][]float64, len(req.Rows))
+	dims := entry.Model.Dims()
 	if len(req.Rows) == 1 {
 		// Single-row requests go through the micro-batcher so concurrent
-		// callers share one batched transform.
-		row, err := s.batcher.TransformRow(r.Context(), entry, req.Rows[0])
-		if err != nil {
+		// callers share one batched transform. The pooled dst is recycled
+		// only on success: after an error (ctx expiry included) a late
+		// flush may still write it.
+		dst := rowScratch.Get(dims)
+		if err := s.batcher.TransformRowInto(r.Context(), entry, dst, req.Rows[0]); err != nil {
 			s.writeError(w, err)
 			return
 		}
-		out[0] = row
-	} else {
-		x := mat.FromRows(req.Rows)
-		xt, err := entry.Model.TransformParallelChecked(x, s.cfg.Workers)
-		if err != nil {
-			s.writeError(w, badRequest("%v", err))
-			return
-		}
-		for i := range out {
-			out[i] = xt.Row(i)
-		}
+		out[0] = dst
+		writeJSON(w, http.StatusOK, transformResponse{Model: entry.Name, Version: entry.Version, Rows: out})
+		rowScratch.Put(dst)
+		return
+	}
+
+	kern, err := entry.Kernel()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Stage the batch and its result in one pooled backing slice; the
+	// kernel transform is synchronous, so the backing is safely recycled
+	// once the response is written.
+	backing := rowScratch.Get(2 * len(req.Rows) * dims)
+	x := mat.NewDenseData(len(req.Rows), dims, backing[:len(req.Rows)*dims])
+	xt := mat.NewDenseData(len(req.Rows), dims, backing[len(req.Rows)*dims:])
+	for i, row := range req.Rows {
+		copy(x.Row(i), row)
+	}
+	if err := kern.TransformInto(xt, x, s.cfg.Workers); err != nil {
+		rowScratch.Put(backing)
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	for i := range out {
+		out[i] = xt.Row(i)
 	}
 	writeJSON(w, http.StatusOK, transformResponse{Model: entry.Name, Version: entry.Version, Rows: out})
+	rowScratch.Put(backing)
 }
 
 func (s *Server) handleProbabilities(w http.ResponseWriter, r *http.Request) {
@@ -418,14 +457,22 @@ func (s *Server) handleProbabilities(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	kern, err := entry.Kernel()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	probs := make([][]float64, len(req.Rows))
+	backing := rowScratch.Get(len(req.Rows) * kern.K())
+	u := mat.NewDenseData(len(req.Rows), kern.K(), backing)
 	for i, row := range req.Rows {
-		u, err := entry.Model.ProbabilitiesChecked(row)
-		if err != nil {
+		if err := kern.ProbabilitiesInto(u.Row(i), row); err != nil {
+			rowScratch.Put(backing)
 			s.writeError(w, badRequest("row %d: %v", i, err))
 			return
 		}
-		probs[i] = u
+		probs[i] = u.Row(i)
 	}
 	writeJSON(w, http.StatusOK, probabilitiesResponse{Model: entry.Name, Version: entry.Version, Probabilities: probs})
+	rowScratch.Put(backing)
 }

@@ -4,17 +4,19 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers test-faults test-overload test-router loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults test-overload test-router loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare bench-fit-compare experiments examples serve fmt vet clean
 
 # vet, race, the widened worker sweep, the crash-safety fault sweep, the
 # overload soak and the router replica-kill soak run on every default
 # invocation so the concurrent registry/batcher code in internal/server,
 # the chunked-parallel objective paths, the checkpoint/resume machinery,
 # the admission/load-shedding path and the scale-out routing tier are
-# checked routinely. bench-compare is a soft gate (leading -): a noisy
-# box must not fail the build, but allocation regressions get printed.
+# checked routinely. bench-compare and bench-fit-compare are soft gates
+# (leading -): a noisy box must not fail the build, but allocation and
+# training-loss regressions get printed.
 all: build vet test race test-workers test-faults test-overload test-router
 	-$(MAKE) bench-compare
+	-$(MAKE) bench-fit-compare
 
 build:
 	$(GO) build ./...
@@ -82,10 +84,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Parallel-restart training benchmark (1/2/4 workers), archived as JSON
-# for cross-commit comparison.
+# Training benchmarks, archived as JSON for cross-commit comparison:
+# the parallel-restart protocol (1/2/4 workers) plus the scale suite
+# (m=10k full-batch L-BFGS reference, m=10k/100k neighbor-pair SGD; add
+# IFAIR_BENCH_1M=1 for the m=1e6 variant).
 bench-fit:
-	$(GO) test -run='^$$' -bench=FitParallelRestarts -benchmem . \
+	$(GO) test -run='^$$' -bench='FitParallelRestarts|FitLarge' -benchmem -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
 
 # Serving-path benchmarks (fused compute kernel, float32 variant,
@@ -102,6 +106,14 @@ bench-compare:
 	$(GO) test -run='^$$' -bench='ServerTransform$$|ServerTransformFloat32$$|MicroBatcher$$' \
 		-benchtime=30x -benchmem . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_serve.json
+
+# Training-regression gate: one pass of the scale benchmarks compared
+# against the archived BENCH_fit.json baseline — both allocation churn
+# and final_loss drift fail the gate (upward drift only; wall-time is
+# not gated because it is machine-dependent).
+bench-fit-compare:
+	$(GO) test -run='^$$' -bench='FitLarge' -benchtime=1x -benchmem -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_fit.json -gate allocs/op,final_loss
 
 # Regenerate every table and figure (trimmed grid; add FULL=1 for the
 # paper's full Sec. V-B grid).

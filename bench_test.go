@@ -383,6 +383,83 @@ func BenchmarkFitParallelRestarts(b *testing.B) {
 	}
 }
 
+// BenchmarkFitLarge measures training at representative scale on the
+// synthetic mixture (3 encoded columns, column 2 protected). The m=10k
+// variant is the full-gradient L-BFGS + SampledFairness reference; the
+// SGD-Neighbor variants train with neighbor-indexed pair sampling and
+// mini-batch SGD — the million-row path. The archived gate in
+// BENCH_fit.json: m=100k SGD-Neighbor must stay under the m=10k L-BFGS
+// wall-time, and final_loss must not drift upward. The paired m=10k
+// rows document sampled-vs-neighbor loss parity at equal scale. Set
+// IFAIR_BENCH_1M=1 to include the m=1e6 variant (minutes, not
+// benchmarked by default).
+func BenchmarkFitLarge(b *testing.B) {
+	variants := []struct {
+		name  string
+		m     int
+		opts  ifair.Options
+		gated bool
+	}{
+		{
+			name: "m=10k/LBFGS-Sampled",
+			m:    10_000,
+			opts: ifair.Options{
+				K: 8, Lambda: 1, Mu: 1, Fairness: ifair.SampledFairness,
+				PairSamples: 16, Seed: 1,
+			},
+		},
+		{
+			name: "m=10k/SGD-Neighbor",
+			m:    10_000,
+			opts: ifair.Options{
+				K: 8, Lambda: 1, Mu: 1, Fairness: ifair.NeighborFairness,
+				PairSamples: 16, NeighborK: 32,
+				BatchSize: 1024, Epochs: 20, LearnRate: 0.01, Seed: 1,
+			},
+		},
+		{
+			name: "m=100k/SGD-Neighbor",
+			m:    100_000,
+			opts: ifair.Options{
+				K: 8, Lambda: 1, Mu: 1, Fairness: ifair.NeighborFairness,
+				PairSamples: 6, NeighborK: 6,
+				BatchSize: 2048, Epochs: 2, LearnRate: 0.01, Seed: 1,
+			},
+		},
+		{
+			name: "m=1M/SGD-Neighbor",
+			m:    1_000_000,
+			opts: ifair.Options{
+				K: 8, Lambda: 1, Mu: 1, Fairness: ifair.NeighborFairness,
+				PairSamples: 8, NeighborK: 16,
+				BatchSize: 4096, Epochs: 3, LearnRate: 0.01, Seed: 1,
+			},
+			gated: true,
+		},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			if v.gated && os.Getenv("IFAIR_BENCH_1M") == "" {
+				b.Skip("set IFAIR_BENCH_1M=1 to run the million-row fit")
+			}
+			ds := dataset.SyntheticMixture(dataset.VariantRandom, v.m, 1)
+			opts := v.opts
+			opts.Protected = ds.ProtectedCols
+			b.ReportAllocs()
+			b.ResetTimer()
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				model, err := ifair.Fit(ds.X, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = model.Loss
+			}
+			b.ReportMetric(loss, "final_loss")
+		})
+	}
+}
+
 // BenchmarkTransform measures the pure inference cost of mapping records
 // through a fitted model (the hot path for deployed pipelines).
 func BenchmarkTransform(b *testing.B) {

@@ -10,14 +10,18 @@
 // suffix, iteration count, ns/op, and any extra metrics (B/op, allocs/op,
 // custom b.ReportMetric units).
 //
-// With -compare <baseline.json>, benchjson instead gates allocation
+// With -compare <baseline.json>, benchjson instead gates metric
 // regressions: for every benchmark present in both the baseline and the
-// fresh stdin run, the current allocs/op must not exceed the archived
-// value by more than -slack-pct percent (rounded up, so a 0-alloc
-// baseline stays exactly 0). A regression prints the offenders and exits
-// 1.
+// fresh stdin run, each metric named by -gate (default allocs/op) must
+// not exceed the archived value by more than -slack-pct percent.
+// allocs/op headroom is rounded up to whole allocations, so a 0-alloc
+// baseline stays exactly 0; continuous metrics such as final_loss get
+// plain proportional slack. Only upward drift is flagged — a lower loss
+// or allocation count is an improvement, not a regression. Offenders
+// print to stderr and exit 1.
 //
 //	go test -bench='ServerTransform$' -benchmem . | benchjson -compare BENCH_serve.json
+//	go test -bench=FitLarge -benchmem . | benchjson -compare BENCH_fit.json -gate allocs/op,final_loss
 package main
 
 import (
@@ -49,8 +53,9 @@ type Result struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
-	compare := flag.String("compare", "", "baseline JSON to gate allocs/op against (exit 1 on regression)")
-	slackPct := flag.Float64("slack-pct", 25, "allowed allocs/op headroom over the baseline, in percent (with -compare)")
+	compare := flag.String("compare", "", "baseline JSON to gate metrics against (exit 1 on regression)")
+	slackPct := flag.Float64("slack-pct", 25, "allowed headroom over the baseline, in percent (with -compare)")
+	gate := flag.String("gate", "allocs/op", "comma-separated metrics to gate with -compare (e.g. allocs/op,final_loss)")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -64,18 +69,19 @@ func main() {
 	}
 
 	if *compare != "" {
-		regressions, err := compareAllocs(*compare, results, *slackPct)
+		metrics := strings.Split(*gate, ",")
+		regressions, err := compareMetrics(*compare, results, *slackPct, metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		for _, r := range regressions {
-			fmt.Fprintln(os.Stderr, "benchjson: ALLOC REGRESSION:", r)
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
 		}
 		if len(regressions) > 0 {
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: allocs/op within baseline %s for %d benchmark(s)\n", *compare, len(results))
+		fmt.Fprintf(os.Stderr, "benchjson: %s within baseline %s for %d benchmark(s)\n", *gate, *compare, len(results))
 		return
 	}
 
@@ -145,13 +151,21 @@ func parse(sc *bufio.Scanner) ([]Result, error) {
 	return results, sc.Err()
 }
 
-// compareAllocs checks the allocs/op of every fresh result that also
-// appears in the baseline file. The limit is baseline + ceil(baseline ×
-// slackPct/100): proportional headroom absorbs pool jitter on non-zero
-// baselines while a 0-alloc baseline is gated exactly. Benchmarks absent
-// from either side are ignored, so the gate never blocks new or renamed
-// benchmarks.
+// compareAllocs gates allocs/op only — the historical default, kept as
+// the single-metric form of compareMetrics.
 func compareAllocs(baselinePath string, fresh []Result, slackPct float64) ([]string, error) {
+	return compareMetrics(baselinePath, fresh, slackPct, []string{"allocs/op"})
+}
+
+// compareMetrics checks the named metrics of every fresh result that
+// also appears in the baseline file. For allocs/op the limit is
+// baseline + ceil(baseline × slackPct/100): proportional headroom
+// absorbs pool jitter on non-zero baselines while a 0-alloc baseline is
+// gated exactly. Continuous metrics (final_loss, B/op, …) get plain
+// proportional slack. Only upward drift counts: a drop is an
+// improvement. Benchmarks or metrics absent from either side are
+// ignored, so the gate never blocks new or renamed benchmarks.
+func compareMetrics(baselinePath string, fresh []Result, slackPct float64, metrics []string) ([]string, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return nil, err
@@ -160,26 +174,36 @@ func compareAllocs(baselinePath string, fresh []Result, slackPct float64) ([]str
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return nil, fmt.Errorf("%s: %w", baselinePath, err)
 	}
-	base := make(map[string]float64)
+	base := make(map[string]map[string]float64)
 	for _, r := range baseline {
-		if a, ok := r.Metrics["allocs/op"]; ok {
-			base[r.Name] = a
-		}
+		base[r.Name] = r.Metrics
 	}
 	var regressions []string
 	for _, r := range fresh {
-		want, ok := base[r.Name]
+		baseMetrics, ok := base[r.Name]
 		if !ok {
 			continue
 		}
-		got, ok := r.Metrics["allocs/op"]
-		if !ok {
-			continue
-		}
-		limit := want + math.Ceil(want*slackPct/100)
-		if got > limit {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f (limit %.0f)", r.Name, got, want, limit))
+		for _, metric := range metrics {
+			metric = strings.TrimSpace(metric)
+			want, ok := baseMetrics[metric]
+			if !ok {
+				continue
+			}
+			got, ok := r.Metrics[metric]
+			if !ok {
+				continue
+			}
+			var limit float64
+			if metric == "allocs/op" {
+				limit = want + math.Ceil(want*slackPct/100)
+			} else {
+				limit = want + math.Abs(want)*slackPct/100
+			}
+			if got > limit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %g %s, baseline %g (limit %g)", r.Name, got, metric, want, limit))
+			}
 		}
 	}
 	return regressions, nil

@@ -96,3 +96,58 @@ func TestCompareAllocs(t *testing.T) {
 		t.Fatalf("new benchmark gated: %v", regs)
 	}
 }
+
+func TestCompareMetricsGatesFinalLoss(t *testing.T) {
+	baseline := `[
+		{"name": "BenchmarkFitLarge/m=100k", "procs": 8, "iterations": 1, "ns_per_op": 1,
+		 "metrics": {"allocs/op": 100, "final_loss": 674000}}
+	]`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(loss, allocs float64) []Result {
+		return []Result{{Name: "BenchmarkFitLarge/m=100k",
+			Metrics: map[string]float64{"allocs/op": allocs, "final_loss": loss}}}
+	}
+	gates := []string{"allocs/op", "final_loss"}
+
+	// Within proportional slack (674000 × 1.05 = 707700); a lower loss is
+	// never a regression.
+	for _, loss := range []float64{674000, 707000, 1} {
+		regs, err := compareMetrics(path, mk(loss, 100), 5, gates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("loss %g flagged: %v", loss, regs)
+		}
+	}
+
+	// Loss drift beyond slack is flagged even with allocs flat.
+	regs, err := compareMetrics(path, mk(710000, 100), 5, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "final_loss") {
+		t.Fatalf("regressions = %v, want one final_loss entry", regs)
+	}
+
+	// Both metrics over: both flagged.
+	regs, err = compareMetrics(path, mk(710000, 200), 5, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+
+	// An un-gated metric never fires.
+	regs, err = compareMetrics(path, mk(9e9, 100), 5, []string{"allocs/op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("ungated metric flagged: %v", regs)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	datagen -dataset compas -out compas.csv
 //	datagen -dataset all -dir ./data -seed 7
+//	datagen -dataset synthetic -records 1000000 -out big.csv
 package main
 
 import (
@@ -23,10 +24,11 @@ import (
 
 func main() {
 	var (
-		name = flag.String("dataset", "", "dataset to export: compas, census, credit, xing, airbnb, synthetic, all")
-		out  = flag.String("out", "", "output CSV path (single dataset; default stdout)")
-		dir  = flag.String("dir", ".", "output directory when -dataset all")
-		seed = flag.Int64("seed", 42, "random seed")
+		name    = flag.String("dataset", "", "dataset to export: compas, census, credit, xing, airbnb, synthetic, all")
+		out     = flag.String("out", "", "output CSV path (single dataset; default stdout)")
+		dir     = flag.String("dir", ".", "output directory when -dataset all")
+		seed    = flag.Int64("seed", 42, "random seed")
+		records = flag.Int("records", 0, "override the record count (synthetic defaults to 100; million-row exports feed the scale benchmarks)")
 	)
 	flag.Parse()
 
@@ -34,27 +36,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen: specify -dataset (compas, census, credit, xing, airbnb, synthetic, all)")
 		os.Exit(2)
 	}
-	if err := run(*name, *out, *dir, *seed); err != nil {
+	if err := run(*name, *out, *dir, *seed, *records); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func generators(seed int64) map[string]func() *dataset.Dataset {
+func generators(seed int64, records int) map[string]func() *dataset.Dataset {
+	cc := dataset.ClassificationConfig{Seed: seed, Records: records}
+	synth := records
+	if synth <= 0 {
+		synth = 100
+	}
 	return map[string]func() *dataset.Dataset{
-		"compas": func() *dataset.Dataset { return dataset.Compas(dataset.ClassificationConfig{Seed: seed}) },
-		"census": func() *dataset.Dataset { return dataset.Census(dataset.ClassificationConfig{Seed: seed}) },
-		"credit": func() *dataset.Dataset { return dataset.Credit(dataset.ClassificationConfig{Seed: seed}) },
+		"compas": func() *dataset.Dataset { return dataset.Compas(cc) },
+		"census": func() *dataset.Dataset { return dataset.Census(cc) },
+		"credit": func() *dataset.Dataset { return dataset.Credit(cc) },
 		"xing": func() *dataset.Dataset {
 			return dataset.Xing(dataset.UniformXingWeights, dataset.RankingConfig{Seed: seed})
 		},
 		"airbnb":    func() *dataset.Dataset { return dataset.Airbnb(dataset.RankingConfig{Seed: seed}) },
-		"synthetic": func() *dataset.Dataset { return dataset.SyntheticMixture(dataset.VariantRandom, 100, seed) },
+		"synthetic": func() *dataset.Dataset { return dataset.SyntheticMixture(dataset.VariantRandom, synth, seed) },
 	}
 }
 
-func run(name, out, dir string, seed int64) error {
-	gens := generators(seed)
+func run(name, out, dir string, seed int64, records int) error {
+	gens := generators(seed, records)
 	if name == "all" {
 		for dsName, gen := range gens {
 			path := filepath.Join(dir, dsName+".csv")

@@ -7,6 +7,12 @@
 //	ifair -dataset credit -k 10 -lambda 1 -mu 1 -out fair.csv
 //	ifair -input data.csv -protected 3,4 -k 20 -out fair.csv
 //	ifair -dataset credit -checkpoint ckpt/ -out fair.csv   # crash-safe
+//	ifair -input big.csv -fairness neighbor -batch 1024 -epochs 20 -out fair.csv
+//
+// Large datasets train with -fairness neighbor (fairness pairs drawn
+// from each record's nearest neighbours on the non-protected columns)
+// and -batch (mini-batch SGD with dataset-size-independent memory); the
+// full-pair and full-batch defaults remain exact for small data.
 //
 // CSV input must have a header row and numeric cells; -protected lists
 // zero-based column indices of protected attributes.
@@ -58,6 +64,12 @@ func run() error {
 		lambda    = flag.Float64("lambda", 1, "reconstruction loss weight λ")
 		mu        = flag.Float64("mu", 1, "individual fairness loss weight µ")
 		variantB  = flag.Bool("maskedinit", true, "use iFair-b initialisation (near-zero protected weights)")
+		fairness  = flag.String("fairness", "sampled", "fairness pairing: pairwise, sampled, neighbor")
+		samples   = flag.Int("pair-samples", 16, "fairness partners per record (sampled/neighbor modes)")
+		neighborK = flag.Int("neighbor-k", ifair.DefaultNeighborK, "neighbour pool per record (neighbor mode)")
+		batch     = flag.Int("batch", 0, "mini-batch size; > 0 trains with SGD instead of L-BFGS")
+		epochs    = flag.Int("epochs", 30, "SGD epochs per restart (with -batch)")
+		learnRate = flag.Float64("lr", 0.01, "SGD per-item learning rate (with -batch)")
 		restarts  = flag.Int("restarts", 3, "random restarts (best final loss wins)")
 		workers   = flag.Int("restart-workers", runtime.NumCPU(), "restarts trained concurrently (1 = serial; same model either way)")
 		progress  = flag.Bool("progress", false, "print per-restart training progress to stderr")
@@ -90,12 +102,21 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "loaded iFair model: K=%d, N=%d\n", model.K(), model.Dims())
 	} else {
+		mode, err := fairnessMode(*fairness)
+		if err != nil {
+			return err
+		}
 		opts := ifair.Options{
 			K:              *k,
 			Lambda:         *lambda,
 			Mu:             *mu,
 			Protected:      protCols,
-			Fairness:       ifair.SampledFairness,
+			Fairness:       mode,
+			PairSamples:    *samples,
+			NeighborK:      *neighborK,
+			BatchSize:      *batch,
+			Epochs:         *epochs,
+			LearnRate:      *learnRate,
 			Restarts:       *restarts,
 			RestartWorkers: *workers,
 			MaxIterations:  *maxIter,
@@ -204,6 +225,20 @@ func (p *progressTrace) RestartEnd(r int, res optimize.Result, err error) {
 	}
 	fmt.Fprintf(p.w, "restart %d: %s after %d iterations, final loss %.6g\n",
 		r, res.Status, res.Iterations, res.F)
+}
+
+// fairnessMode parses the -fairness flag.
+func fairnessMode(name string) (ifair.FairnessMode, error) {
+	switch name {
+	case "pairwise":
+		return ifair.PairwiseFairness, nil
+	case "sampled":
+		return ifair.SampledFairness, nil
+	case "neighbor":
+		return ifair.NeighborFairness, nil
+	default:
+		return 0, fmt.Errorf("unknown -fairness %q (choose pairwise, sampled, neighbor)", name)
+	}
 }
 
 // loadData resolves the input source: a simulator name or a CSV file.

@@ -55,11 +55,21 @@ const (
 
 // Fairness-loss pairing strategies.
 const (
-	// PairwiseFairness evaluates Def. 5 over all record pairs.
+	// PairwiseFairness evaluates Def. 5 over all record pairs. It is
+	// rejected above MaxPairwiseRows records when the fairness loss is
+	// active — use one of the O(M·S) modes below at scale.
 	PairwiseFairness = ifair.PairwiseFairness
 	// SampledFairness pairs each record with a sample of partners.
 	SampledFairness = ifair.SampledFairness
+	// NeighborFairness pairs each record with partners drawn from its
+	// nearest neighbours on the non-protected attributes (exact k-d tree
+	// queries) — the recommended mode for large datasets.
+	NeighborFairness = ifair.NeighborFairness
 )
+
+// MaxPairwiseRows is the largest record count PairwiseFairness accepts
+// when the fairness loss is active.
+const MaxPairwiseRows = ifair.MaxPairwiseRows
 
 // Membership kernels (the paper's Def. 8 default plus the heavy-tailed
 // alternative from its future-work direction).

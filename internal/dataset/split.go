@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -23,8 +24,12 @@ func ThreeWaySplit(m int, trainFrac, valFrac float64, seed int64) (Split, error)
 		return Split{}, fmt.Errorf("dataset: invalid split fractions %v/%v", trainFrac, valFrac)
 	}
 	idx := rand.New(rand.NewSource(seed)).Perm(m)
-	nTrain := int(float64(m) * trainFrac)
-	nVal := int(float64(m) * valFrac)
+	// Round to the nearest count instead of truncating: at m = 10⁶ a
+	// fraction like 0.7 has no exact binary representation and
+	// int(float64(m)·frac) silently drops a record from the part it names,
+	// which the equal-size expectations of large-scale studies notice.
+	nTrain := int(math.Round(float64(m) * trainFrac))
+	nVal := int(math.Round(float64(m) * valFrac))
 	if nTrain == 0 || nVal == 0 || nTrain+nVal >= m {
 		return Split{}, fmt.Errorf("dataset: split of %d records leaves an empty part", m)
 	}

@@ -63,6 +63,39 @@ func TestThreeWaySplitDifferentSeedsDiffer(t *testing.T) {
 	}
 }
 
+// TestThreeWaySplitExactAtMillionRows pins the fraction-truncation fix:
+// int(float64(m)·frac) loses a record whenever m·frac rounds down in
+// binary (10⁶·0.7 = 699999.999…), so part sizes must come from
+// math.Round. Checked at the million-row scale the bug surfaced at and
+// across a sweep of awkward fractions.
+func TestThreeWaySplitExactAtMillionRows(t *testing.T) {
+	const m = 1_000_000
+	cases := []struct {
+		trainFrac, valFrac float64
+		train, val         int
+	}{
+		{0.7, 0.1, 700000, 100000},
+		{0.6, 0.2, 600000, 200000},
+		{0.4, 0.3, 400000, 300000},
+		{1.0 / 3, 1.0 / 3, 333333, 333333},
+	}
+	for _, tc := range cases {
+		s, err := ThreeWaySplit(m, tc.trainFrac, tc.valFrac, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Train) != tc.train || len(s.Validation) != tc.val {
+			t.Fatalf("fracs %v/%v: parts %d/%d/%d, want %d/%d/%d",
+				tc.trainFrac, tc.valFrac,
+				len(s.Train), len(s.Validation), len(s.Test),
+				tc.train, tc.val, m-tc.train-tc.val)
+		}
+		if len(s.Train)+len(s.Validation)+len(s.Test) != m {
+			t.Fatalf("parts do not partition %d records", m)
+		}
+	}
+}
+
 func TestThreeWaySplitValidation(t *testing.T) {
 	if _, err := ThreeWaySplit(0, 0.5, 0.25, 1); err == nil {
 		t.Fatal("expected error for zero records")

@@ -23,10 +23,11 @@ var fingerprintTable = crc64.MakeTable(crc64.ECMA)
 // Seed and Restarts are carried separately in the snapshot header.
 func checkpointFingerprint(x *mat.Dense, o *Options) string {
 	h := crc64.New(fingerprintTable)
-	fmt.Fprintf(h, "ifair|k=%d|lambda=%g|mu=%g|prot=%v|init=%d|pinit=%d|nearzero=%g|fair=%d|pairs=%d|p=%g|root=%t|kernel=%d|numgrad=%t|maxiter=%d|gd=%t|",
+	fmt.Fprintf(h, "ifair|k=%d|lambda=%g|mu=%g|prot=%v|init=%d|pinit=%d|nearzero=%g|fair=%d|pairs=%d|neighk=%d|p=%g|root=%t|kernel=%d|numgrad=%t|maxiter=%d|gd=%t|batch=%d|epochs=%d|lr=%g|",
 		o.K, o.Lambda, o.Mu, o.Protected, o.Init, o.ProtoInit, o.NearZero,
-		o.Fairness, o.PairSamples, o.P, o.TakeRoot, o.Kernel,
-		o.ForceNumericalGradient, o.MaxIterations, o.UseGradientDescent)
+		o.Fairness, o.PairSamples, o.NeighborK, o.P, o.TakeRoot, o.Kernel,
+		o.ForceNumericalGradient, o.MaxIterations, o.UseGradientDescent,
+		o.BatchSize, o.Epochs, o.LearnRate)
 	m, n := x.Dims()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(m)<<32|uint64(uint32(n)))

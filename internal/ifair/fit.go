@@ -56,7 +56,7 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 	if m == 0 || n == 0 {
 		return nil, ErrNoData
 	}
-	if err := opts.fill(n); err != nil {
+	if err := opts.fill(m, n); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -85,6 +85,9 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 			}
 			rng := rand.New(rand.NewSource(optimize.RestartSeed(opts.Seed, r)))
 			theta := initialTheta(x, opts, rng)
+			// Drawn whether or not SGD runs, so the initialisation stream
+			// is identical across optimiser choices.
+			shuffleSeed := rng.Int63()
 			obj := base
 			if opts.RestartWorkers > 1 {
 				obj = base.clone() // private scratch per concurrent restart
@@ -94,6 +97,9 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 				GradTol:       1e-5,
 				Callback:      optimize.ContextCallback(ctx, trace, r),
 			}
+			if opts.BatchSize > 0 {
+				settings.MaxIterations = opts.Epochs
+			}
 			if ckpt != nil {
 				settings.Snapshot = func(it optimize.Iteration, xcur []float64) {
 					ckpt.Observe(r, it.Iter, it.F, xcur)
@@ -101,9 +107,17 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 			}
 			var res optimize.Result
 			var err error
-			if opts.UseGradientDescent {
+			switch {
+			case opts.BatchSize > 0:
+				res, err = optimize.SGD(obj, theta, optimize.SGDSettings{
+					Settings:  settings,
+					BatchSize: opts.BatchSize,
+					LearnRate: opts.LearnRate,
+					Seed:      shuffleSeed,
+				})
+			case opts.UseGradientDescent:
 				res, err = optimize.GradientDescent(obj, theta, settings)
-			} else {
+			default:
 				res, err = optimize.LBFGS(obj, theta, settings)
 			}
 			if trace != nil {

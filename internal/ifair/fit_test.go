@@ -60,7 +60,7 @@ func TestFitReducesLossVersusInit(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	x := randomData(rng, 25, 4)
 	opts := Options{K: 3, Lambda: 1, Mu: 1, Seed: 7, MaxIterations: 60}
-	if err := opts.fill(4); err != nil {
+	if err := opts.fill(25, 4); err != nil {
 		t.Fatal(err)
 	}
 	seedRNG := rand.New(rand.NewSource(opts.Seed))

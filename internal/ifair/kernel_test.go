@@ -93,7 +93,7 @@ func TestKernelConsistencyTrainingVsInference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := opts.fill(3); err != nil {
+		if err := opts.fill(12, 3); err != nil {
 			t.Fatal(err)
 		}
 		obj := newObjective(x, opts, rand.New(rand.NewSource(1)))

@@ -1,0 +1,156 @@
+package ifair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/mat"
+)
+
+// TestNeighborPairsBitIdenticalAcrossWorkers: the neighbour sampler's
+// pair list must be a pure function of (data, options, seed) — the
+// kd-tree fan-out obeys the internal/par contract and the rng is
+// consumed serially — so every Workers value yields the same pairs.
+func TestNeighborPairsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, n := 300, 4
+	x := randomData(rng, m, n)
+	opts := Options{
+		K: 2, Lambda: 1, Mu: 1, Protected: []int{3},
+		Fairness: NeighborFairness, PairSamples: 5, NeighborK: 12,
+	}
+	if err := opts.fill(m, n); err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) []pair {
+		o := opts
+		o.Workers = workers
+		return buildPairs(x, o, rand.New(rand.NewSource(17)))
+	}
+	want := build(1)
+	if len(want) != m*opts.PairSamples {
+		t.Fatalf("pair budget %d, want %d", len(want), m*opts.PairSamples)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := build(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: pair %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNeighborPairsComeFromNeighborPool: every sampled partner must be
+// one of the record's NeighborK nearest neighbours in the non-protected
+// subspace, with no duplicates per record and no self-pairs.
+func TestNeighborPairsComeFromNeighborPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, n := 150, 3
+	x := randomData(rng, m, n)
+	opts := Options{
+		K: 2, Lambda: 1, Mu: 1, Protected: []int{2},
+		Fairness: NeighborFairness, PairSamples: 4, NeighborK: 10,
+	}
+	if err := opts.fill(m, n); err != nil {
+		t.Fatal(err)
+	}
+	pairs := buildPairs(x, opts, rand.New(rand.NewSource(1)))
+
+	pool := knn.NewKDTree(nonProtectedMatrix(x, opts.Protected)).AllNeighbors(opts.NeighborK)
+	inPool := make([]map[int]bool, m)
+	for i, nb := range pool {
+		inPool[i] = make(map[int]bool, len(nb))
+		for _, j := range nb {
+			inPool[i][j] = true
+		}
+	}
+	seen := make(map[pair]bool, len(pairs))
+	for _, pr := range pairs {
+		if pr.i == pr.j {
+			t.Fatalf("self-pair %v", pr)
+		}
+		if !inPool[pr.i][pr.j] {
+			t.Fatalf("pair %v: %d is not among %d's %d nearest neighbours", pr, pr.j, pr.i, opts.NeighborK)
+		}
+		if seen[pr] {
+			t.Fatalf("duplicate pair %v", pr)
+		}
+		seen[pr] = true
+	}
+}
+
+// TestNeighborPairsSmallPool: when the dataset (or NeighborK) leaves
+// fewer than PairSamples neighbours, the record pairs with its whole
+// pool instead of over-sampling.
+func TestNeighborPairsSmallPool(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {1}, {2}, {3}})
+	opts := Options{
+		K: 1, Lambda: 1, Mu: 1,
+		Fairness: NeighborFairness, PairSamples: 10, NeighborK: 2,
+	}
+	if err := opts.fill(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	pairs := buildPairs(x, opts, rand.New(rand.NewSource(1)))
+	perRecord := make([]int, 4)
+	for _, pr := range pairs {
+		perRecord[pr.i]++
+	}
+	for i, c := range perRecord {
+		if c != 2 {
+			t.Fatalf("record %d pairs %d times, want its full pool of 2", i, c)
+		}
+	}
+}
+
+// TestNeighborPairsOwnerOrdered: all pair builders must emit pairs in
+// non-decreasing owner order — the mini-batch CSR ownership index
+// assumes it.
+func TestNeighborPairsOwnerOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := randomData(rng, 90, 3)
+	for _, mode := range []FairnessMode{PairwiseFairness, SampledFairness, NeighborFairness} {
+		opts := Options{K: 1, Lambda: 1, Mu: 1, Fairness: mode, PairSamples: 3, NeighborK: 6}
+		if err := opts.fill(90, 3); err != nil {
+			t.Fatal(err)
+		}
+		pairs := buildPairs(x, opts, rand.New(rand.NewSource(2)))
+		for p := 1; p < len(pairs); p++ {
+			if pairs[p].i < pairs[p-1].i {
+				t.Fatalf("%s: pair %d owner %d precedes %d", mode, p, pairs[p].i, pairs[p-1].i)
+			}
+		}
+	}
+}
+
+// TestNeighborFairnessFitImprovesLoss: an end-to-end L-BFGS fit under
+// NeighborFairness trains and improves on its initial point.
+func TestNeighborFairnessFitImprovesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 60, 4
+	x := randomData(rng, m, n)
+	opts := Options{
+		K: 3, Lambda: 1, Mu: 1, Protected: []int{3},
+		Fairness: NeighborFairness, PairSamples: 4, NeighborK: 8,
+		Seed: 5, MaxIterations: 40,
+	}
+	model, err := Fit(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled := opts
+	if err := filled.fill(m, n); err != nil {
+		t.Fatal(err)
+	}
+	seedRNG := rand.New(rand.NewSource(opts.Seed))
+	obj := newObjective(x, filled, seedRNG)
+	theta0 := initialTheta(x, filled, seedRNG)
+	if loss0 := obj.lossOnly(theta0); model.Loss >= loss0 {
+		t.Fatalf("loss %v did not improve on initial %v", model.Loss, loss0)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/knn"
 	"repro/internal/mat"
 	"repro/internal/optimize"
 	"repro/internal/par"
@@ -31,13 +32,19 @@ type objective struct {
 	opts   Options
 	m, n   int
 
-	// scratch buffers reused across evaluations
+	// scratch buffers reused across evaluations. The five M-row matrices
+	// are allocated lazily on the first full-objective evaluation
+	// (ensureFull): a clone that only ever trains through the mini-batch
+	// path never pays for them — its scratch is batch-sized (see batch.go).
 	alpha []float64
 	u     *mat.Dense // M×K memberships
 	raw   *mat.Dense // M×K rootless kernel distances s_ik (for the root chain)
 	gval  *mat.Dense // M×K kernel weights g(D_ik) (InverseKernel backward)
 	xt    *mat.Dense // M×N transformed records
 	g     *mat.Dense // M×N upstream gradient ∂L/∂x̃
+
+	// batch is the mini-batch evaluation state (lazily built by EvalBatch).
+	batch *batchState
 
 	// Chunked-parallel state. Both plans are fixed by the problem sizes
 	// alone (records and fairness pairs respectively), so every partial
@@ -78,15 +85,10 @@ func newObjective(x *mat.Dense, opts Options, rng *rand.Rand) *objective {
 		m:       m,
 		n:       n,
 		alpha:   make([]float64, n),
-		u:       mat.NewDense(m, opts.K),
-		raw:     mat.NewDense(m, opts.K),
-		gval:    mat.NewDense(m, opts.K),
-		xt:      mat.NewDense(m, n),
-		g:       mat.NewDense(m, n),
 		workers: workers,
 	}
 	if opts.Mu > 0 {
-		o.pairs = buildPairs(m, opts, rng)
+		o.pairs = buildPairs(x, opts, rng)
 		nonProt := nonProtectedIndices(n, opts.Protected)
 		o.target = make([]float64, len(o.pairs))
 		for p, pr := range o.pairs {
@@ -96,6 +98,23 @@ func newObjective(x *mat.Dense, opts Options, rng *rand.Rand) *objective {
 	}
 	o.initScratch()
 	return o
+}
+
+// ensureFull allocates the M-row evaluation scratch on first use. The
+// full-objective paths (Eval, lossOnly) need one row of each matrix per
+// record; the mini-batch path never calls this.
+func (o *objective) ensureFull() {
+	if o.u != nil {
+		return
+	}
+	o.u = mat.NewDense(o.m, o.opts.K)
+	o.raw = mat.NewDense(o.m, o.opts.K)
+	o.gval = mat.NewDense(o.m, o.opts.K)
+	o.xt = mat.NewDense(o.m, o.n)
+	o.g = mat.NewDense(o.m, o.n)
+	if len(o.pairs) > 0 {
+		o.pairCoef = make([]float64, len(o.pairs))
+	}
 }
 
 // initScratch sizes the per-chunk evaluation buffers from the two
@@ -111,9 +130,6 @@ func (o *objective) initScratch() {
 	o.q = make([][]float64, o.planRec.NumChunks())
 	for c := range o.q {
 		o.q[c] = make([]float64, o.opts.K)
-	}
-	if len(o.pairs) > 0 {
-		o.pairCoef = make([]float64, len(o.pairs))
 	}
 }
 
@@ -160,20 +176,19 @@ func (o *objective) clone() *objective {
 		m:        o.m,
 		n:        o.n,
 		alpha:    make([]float64, o.n),
-		u:        mat.NewDense(o.m, o.opts.K),
-		raw:      mat.NewDense(o.m, o.opts.K),
-		gval:     mat.NewDense(o.m, o.opts.K),
-		xt:       mat.NewDense(o.m, o.n),
-		g:        mat.NewDense(o.m, o.n),
 		workers:  o.workers,
 	}
 	c.initScratch()
 	return c
 }
 
-// buildPairs enumerates all pairs or samples PairSamples partners per
-// record, depending on the fairness mode.
-func buildPairs(m int, opts Options, rng *rand.Rand) []pair {
+// buildPairs constructs the fairness pair list for the configured mode:
+// all pairs, PairSamples uniform partners per record, or PairSamples
+// partners drawn from each record's k-nearest-neighbour pool. Every mode
+// emits pairs in non-decreasing owner (pair.i) order — the mini-batch
+// sub-objective's CSR ownership index depends on it.
+func buildPairs(x *mat.Dense, opts Options, rng *rand.Rand) []pair {
+	m := x.Rows()
 	if opts.Fairness == PairwiseFairness {
 		pairs := make([]pair, 0, m*(m-1)/2)
 		for i := 0; i < m; i++ {
@@ -185,6 +200,9 @@ func buildPairs(m int, opts Options, rng *rand.Rand) []pair {
 	}
 	if m < 2 {
 		return nil // no distinct partner exists
+	}
+	if opts.Fairness == NeighborFairness {
+		return buildNeighborPairs(x, opts, rng)
 	}
 	pairs := make([]pair, 0, m*opts.PairSamples)
 	for i := 0; i < m; i++ {
@@ -200,6 +218,65 @@ func buildPairs(m int, opts Options, rng *rand.Rand) []pair {
 		}
 	}
 	return pairs
+}
+
+// buildNeighborPairs pairs each record with PairSamples partners sampled
+// without replacement from its NeighborK nearest neighbours in the
+// non-protected subspace (exact k-d tree queries). The neighbour lists
+// are computed by AllNeighborsWorkers, which is bit-identical for every
+// Workers value, and the per-record sampling consumes the rng serially
+// in record order — so the pair list is a pure function of (data,
+// options, seed) regardless of the worker count.
+func buildNeighborPairs(x *mat.Dense, opts Options, rng *rand.Rand) []pair {
+	m := x.Rows()
+	k := opts.NeighborK
+	if k <= 0 {
+		k = DefaultNeighborK
+	}
+	neigh := knn.NewKDTree(nonProtectedMatrix(x, opts.Protected)).
+		AllNeighborsWorkers(k, opts.Workers)
+	pairs := make([]pair, 0, m*opts.PairSamples)
+	scratch := make([]int, k)
+	for i := 0; i < m; i++ {
+		cand := neigh[i]
+		if opts.PairSamples >= len(cand) {
+			// Fewer neighbours than samples (tiny datasets, or
+			// PairSamples > NeighborK): pair with the whole pool.
+			for _, j := range cand {
+				pairs = append(pairs, pair{i, j})
+			}
+			continue
+		}
+		// Partial Fisher–Yates over a scratch copy: the first PairSamples
+		// entries are a uniform without-replacement draw from the pool.
+		s := scratch[:len(cand)]
+		copy(s, cand)
+		for t := 0; t < opts.PairSamples; t++ {
+			r := t + rng.Intn(len(s)-t)
+			s[t], s[r] = s[r], s[t]
+			pairs = append(pairs, pair{i, s[t]})
+		}
+	}
+	return pairs
+}
+
+// nonProtectedMatrix projects x onto its non-protected columns — the
+// subspace Def. 1 measures — returning x itself when nothing is
+// protected.
+func nonProtectedMatrix(x *mat.Dense, protected []int) *mat.Dense {
+	m, n := x.Dims()
+	idx := nonProtectedIndices(n, protected)
+	if len(idx) == n {
+		return x
+	}
+	sub := mat.NewDense(m, len(idx))
+	for i := 0; i < m; i++ {
+		src, dst := x.Row(i), sub.Row(i)
+		for c, j := range idx {
+			dst[c] = src[j]
+		}
+	}
+	return sub
 }
 
 // nonProtectedIndices returns the column indices not listed as protected.
@@ -241,6 +318,7 @@ func (o *objective) decode(theta []float64) (alpha []float64, protos []float64) 
 
 // Eval implements optimize.Objective.
 func (o *objective) Eval(theta, grad []float64) float64 {
+	o.ensureFull()
 	if o.opts.analyticGradient() {
 		return o.evalAnalytic(theta, grad)
 	}
@@ -277,80 +355,90 @@ func (o *objective) forward(alpha, protos []float64, withGrad bool) float64 {
 
 // forwardRange runs the forward pass for records [lo, hi).
 func (o *objective) forwardRange(alpha, protos []float64, withGrad bool, lo, hi int) float64 {
-	k := o.opts.K
 	var loss float64
 	for i := lo; i < hi; i++ {
-		xi := o.x.Row(i)
-		ui := o.u.Row(i)
-		ri := o.raw.Row(i)
-		gv := o.gval.Row(i)
-
-		for kk := 0; kk < k; kk++ {
-			ri[kk] = rawDistance(xi, protos[kk*o.n:(kk+1)*o.n], alpha, o.opts.P)
-		}
-		switch o.opts.Kernel {
-		case InverseKernel:
-			var sum float64
-			for kk := 0; kk < k; kk++ {
-				d := ri[kk]
-				if o.opts.TakeRoot {
-					d = math.Pow(d, 1/o.opts.P)
-				}
-				gv[kk] = 1 / (1 + d)
-				sum += gv[kk]
-			}
-			for kk := 0; kk < k; kk++ {
-				ui[kk] = gv[kk] / sum
-			}
-		default: // ExpKernel: softmax over z = −D with max-shift
-			maxZ := math.Inf(-1)
-			for kk := 0; kk < k; kk++ {
-				d := ri[kk]
-				if o.opts.TakeRoot {
-					d = math.Pow(d, 1/o.opts.P)
-				}
-				z := -d
-				ui[kk] = z
-				if z > maxZ {
-					maxZ = z
-				}
-			}
-			var sum float64
-			for kk := 0; kk < k; kk++ {
-				ui[kk] = math.Exp(ui[kk] - maxZ)
-				sum += ui[kk]
-			}
-			for kk := 0; kk < k; kk++ {
-				ui[kk] /= sum
-			}
-		}
-
-		xti := o.xt.Row(i)
-		for n := range xti {
-			xti[n] = 0
-		}
-		for kk := 0; kk < k; kk++ {
-			mat.AddScaled(xti, ui[kk], protos[kk*o.n:(kk+1)*o.n])
-		}
+		var gi []float64
 		if withGrad {
-			gi := o.g.Row(i)
-			for n := range gi {
-				gi[n] = 0
+			gi = o.g.Row(i)
+		}
+		loss += o.forwardRecord(alpha, protos, o.x.Row(i),
+			o.u.Row(i), o.raw.Row(i), o.gval.Row(i), o.xt.Row(i), gi, true)
+	}
+	return loss
+}
+
+// forwardRecord computes one record's memberships (into ui), raw
+// distances (ri), kernel weights (gv) and transform (xti), returning its
+// weighted utility loss (0 unless withUtil). When gi is non-nil it is
+// zeroed and, with withUtil, receives the utility upstream gradient —
+// the fairness pass accumulates on top of it afterwards. Shared by the
+// full-objective range pass and the mini-batch path, which differ only
+// in which rows they hand in.
+func (o *objective) forwardRecord(alpha, protos, xi, ui, ri, gv, xti, gi []float64, withUtil bool) float64 {
+	k := o.opts.K
+	for kk := 0; kk < k; kk++ {
+		ri[kk] = rawDistance(xi, protos[kk*o.n:(kk+1)*o.n], alpha, o.opts.P)
+	}
+	switch o.opts.Kernel {
+	case InverseKernel:
+		var sum float64
+		for kk := 0; kk < k; kk++ {
+			d := ri[kk]
+			if o.opts.TakeRoot {
+				d = math.Pow(d, 1/o.opts.P)
+			}
+			gv[kk] = 1 / (1 + d)
+			sum += gv[kk]
+		}
+		for kk := 0; kk < k; kk++ {
+			ui[kk] = gv[kk] / sum
+		}
+	default: // ExpKernel: softmax over z = −D with max-shift
+		maxZ := math.Inf(-1)
+		for kk := 0; kk < k; kk++ {
+			d := ri[kk]
+			if o.opts.TakeRoot {
+				d = math.Pow(d, 1/o.opts.P)
+			}
+			z := -d
+			ui[kk] = z
+			if z > maxZ {
+				maxZ = z
 			}
 		}
-		if o.opts.Lambda > 0 {
-			if withGrad {
-				gi := o.g.Row(i)
-				for n := 0; n < o.n; n++ {
-					r := xti[n] - xi[n]
-					loss += o.opts.Lambda * r * r
-					gi[n] += 2 * o.opts.Lambda * r
-				}
-			} else {
-				for n := 0; n < o.n; n++ {
-					r := xti[n] - xi[n]
-					loss += o.opts.Lambda * r * r
-				}
+		var sum float64
+		for kk := 0; kk < k; kk++ {
+			ui[kk] = math.Exp(ui[kk] - maxZ)
+			sum += ui[kk]
+		}
+		for kk := 0; kk < k; kk++ {
+			ui[kk] /= sum
+		}
+	}
+
+	for n := range xti {
+		xti[n] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		mat.AddScaled(xti, ui[kk], protos[kk*o.n:(kk+1)*o.n])
+	}
+	if gi != nil {
+		for n := range gi {
+			gi[n] = 0
+		}
+	}
+	var loss float64
+	if withUtil && o.opts.Lambda > 0 {
+		if gi != nil {
+			for n := 0; n < o.n; n++ {
+				r := xti[n] - xi[n]
+				loss += o.opts.Lambda * r * r
+				gi[n] += 2 * o.opts.Lambda * r
+			}
+		} else {
+			for n := 0; n < o.n; n++ {
+				r := xti[n] - xi[n]
+				loss += o.opts.Lambda * r * r
 			}
 		}
 	}
@@ -430,6 +518,7 @@ func (o *objective) fairnessBackwardRange(lo, hi int) {
 // lossOnly evaluates the objective without gradients; it also serves as the
 // finite-difference target for ForceNumericalGradient.
 func (o *objective) lossOnly(theta []float64) float64 {
+	o.ensureFull()
 	alpha, protos := o.decode(theta)
 	loss := o.forward(alpha, protos, false)
 	return loss + o.fairnessLoss(false)
@@ -480,58 +569,61 @@ func (o *objective) evalAnalytic(theta, grad []float64) float64 {
 // backwardRange backpropagates records [lo, hi) into the given gradient
 // buffers, using q as per-chunk scratch.
 func (o *objective) backwardRange(alpha, protos, q, gradV, gradA []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		o.backwardRecord(alpha, protos, q, gradV, gradA,
+			o.x.Row(i), o.u.Row(i), o.raw.Row(i), o.gval.Row(i), o.g.Row(i))
+	}
+}
+
+// backwardRecord backpropagates one record — given its forward rows ui,
+// ri, gvi and upstream gradient gi — into gradV and gradA, using q as
+// K-sized scratch. Shared by the chunked full-objective pass and the
+// mini-batch path.
+func (o *objective) backwardRecord(alpha, protos, q, gradV, gradA, xi, ui, ri, gvi, gi []float64) {
 	k := o.opts.K
 	p := o.opts.P
-	for i := lo; i < hi; i++ {
-		xi := o.x.Row(i)
-		ui := o.u.Row(i)
-		ri := o.raw.Row(i)
-		gvi := o.gval.Row(i)
-		gi := o.g.Row(i)
-
-		var qbar float64
-		for kk := 0; kk < k; kk++ {
-			q[kk] = mat.Dot(gi, protos[kk*o.n:(kk+1)*o.n])
-			qbar += ui[kk] * q[kk]
+	var qbar float64
+	for kk := 0; kk < k; kk++ {
+		q[kk] = mat.Dot(gi, protos[kk*o.n:(kk+1)*o.n])
+		qbar += ui[kk] * q[kk]
+	}
+	for kk := 0; kk < k; kk++ {
+		uik := ui[kk]
+		centred := q[kk] - qbar
+		var dLdD float64
+		switch o.opts.Kernel {
+		case InverseKernel:
+			dLdD = -uik * gvi[kk] * centred
+		default:
+			dLdD = -uik * centred
 		}
-		for kk := 0; kk < k; kk++ {
-			uik := ui[kk]
-			centred := q[kk] - qbar
-			var dLdD float64
-			switch o.opts.Kernel {
-			case InverseKernel:
-				dLdD = -uik * gvi[kk] * centred
-			default:
-				dLdD = -uik * centred
+		dLds := dLdD
+		if o.opts.TakeRoot {
+			s := ri[kk]
+			if s < 1e-12 {
+				s = 1e-12
 			}
-			dLds := dLdD
-			if o.opts.TakeRoot {
-				s := ri[kk]
-				if s < 1e-12 {
-					s = 1e-12
-				}
-				dLds *= math.Pow(s, 1/p-1) / p
+			dLds *= math.Pow(s, 1/p-1) / p
+		}
+		vk := protos[kk*o.n : (kk+1)*o.n]
+		gv := gradV[kk*o.n : (kk+1)*o.n]
+		if p == 2 {
+			for n := 0; n < o.n; n++ {
+				diff := xi[n] - vk[n]
+				gv[n] += uik*gi[n] - dLds*2*alpha[n]*diff
+				gradA[n] += dLds * diff * diff
 			}
-			vk := protos[kk*o.n : (kk+1)*o.n]
-			gv := gradV[kk*o.n : (kk+1)*o.n]
-			if p == 2 {
-				for n := 0; n < o.n; n++ {
-					diff := xi[n] - vk[n]
-					gv[n] += uik*gi[n] - dLds*2*alpha[n]*diff
-					gradA[n] += dLds * diff * diff
+		} else {
+			for n := 0; n < o.n; n++ {
+				diff := xi[n] - vk[n]
+				ad := math.Abs(diff)
+				pow1 := math.Pow(ad, p-1)
+				sign := 1.0
+				if diff < 0 {
+					sign = -1
 				}
-			} else {
-				for n := 0; n < o.n; n++ {
-					diff := xi[n] - vk[n]
-					ad := math.Abs(diff)
-					pow1 := math.Pow(ad, p-1)
-					sign := 1.0
-					if diff < 0 {
-						sign = -1
-					}
-					gv[n] += uik*gi[n] - dLds*alpha[n]*p*pow1*sign
-					gradA[n] += dLds * pow1 * ad
-				}
+				gv[n] += uik*gi[n] - dLds*alpha[n]*p*pow1*sign
+				gradA[n] += dLds * pow1 * ad
 			}
 		}
 	}
@@ -547,7 +639,7 @@ func Losses(m *Model, x *mat.Dense, opts Options) (util, fair float64) {
 		util += mat.SqDist(x.Row(i), xt.Row(i))
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	pairs := buildPairs(rows, opts, rng)
+	pairs := buildPairs(x, opts, rng)
 	nonProt := nonProtectedIndices(x.Cols(), opts.Protected)
 	for _, pr := range pairs {
 		d := mat.SqDist(xt.Row(pr.i), xt.Row(pr.j))

@@ -22,7 +22,7 @@ func randomData(rng *rand.Rand, m, n int) *mat.Dense {
 func newTestObjective(seed int64, opts Options) (*objective, []float64) {
 	rng := rand.New(rand.NewSource(seed))
 	x := randomData(rng, 8, 4)
-	if err := opts.fill(4); err != nil {
+	if err := opts.fill(8, 4); err != nil {
 		panic(err)
 	}
 	obj := newObjective(x, opts, rng)
@@ -71,7 +71,7 @@ func TestGradientCheckAtRandomPoints(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		opts := Options{K: 2, Lambda: 1, Mu: 1}
-		if err := opts.fill(3); err != nil {
+		if err := opts.fill(6, 3); err != nil {
 			return false
 		}
 		x := randomData(rng, 6, 3)
@@ -107,7 +107,7 @@ func TestLossNonNegative(t *testing.T) {
 
 func TestPairwisePairCount(t *testing.T) {
 	opts := Options{K: 2, Lambda: 1, Mu: 1}
-	if err := opts.fill(3); err != nil {
+	if err := opts.fill(10, 3); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
@@ -119,7 +119,7 @@ func TestPairwisePairCount(t *testing.T) {
 
 func TestSampledPairCountBounded(t *testing.T) {
 	opts := Options{K: 2, Lambda: 1, Mu: 1, Fairness: SampledFairness, PairSamples: 5}
-	if err := opts.fill(3); err != nil {
+	if err := opts.fill(20, 3); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
@@ -136,7 +136,7 @@ func TestSampledPairCountBounded(t *testing.T) {
 
 func TestNoPairsWhenMuZero(t *testing.T) {
 	opts := Options{K: 2, Lambda: 1, Mu: 0}
-	if err := opts.fill(3); err != nil {
+	if err := opts.fill(10, 3); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
@@ -154,7 +154,7 @@ func TestTargetDistancesIgnoreProtected(t *testing.T) {
 		{1, 2, 9},
 	})
 	opts := Options{K: 1, Lambda: 1, Mu: 1, Protected: []int{2}}
-	if err := opts.fill(3); err != nil {
+	if err := opts.fill(2, 3); err != nil {
 		t.Fatal(err)
 	}
 	obj := newObjective(x, opts, rand.New(rand.NewSource(1)))

@@ -56,6 +56,14 @@ const (
 	// an O(M·S) approximation in the spirit of the paper's remark that the
 	// quadratic number of comparisons can be avoided.
 	SampledFairness
+	// NeighborFairness pairs each record with PairSamples partners drawn
+	// (seeded, without replacement) from its NeighborK nearest neighbours
+	// in the non-protected subspace, found with an exact k-d tree. Def. 5
+	// weights exactly the comparisons individual fairness cares about most
+	// — records that are close on the lawful attributes — while keeping
+	// the O(M·S) pair budget of SampledFairness, so it is the
+	// recommended mode for large datasets.
+	NeighborFairness
 )
 
 // String implements fmt.Stringer.
@@ -65,10 +73,23 @@ func (m FairnessMode) String() string {
 		return "pairwise"
 	case SampledFairness:
 		return "sampled"
+	case NeighborFairness:
+		return "neighbor"
 	default:
 		return "unknown"
 	}
 }
+
+// MaxPairwiseRows is the largest record count PairwiseFairness accepts
+// when the fairness loss is active: above it the O(M²) pair list (and the
+// matching per-evaluation cost) stops being a configuration and starts
+// being an outage. Options.fill rejects larger datasets and points at
+// SampledFairness / NeighborFairness, whose pair budgets are O(M·S).
+const MaxPairwiseRows = 20000
+
+// DefaultNeighborK is the neighbour-pool size per record under
+// NeighborFairness when Options.NeighborK is unset.
+const DefaultNeighborK = 32
 
 // Kernel selects how kernel distances become membership weights. The
 // paper notes that "our framework is flexible and easily supports other
@@ -134,9 +155,15 @@ type Options struct {
 
 	// Fairness selects the pairing strategy for L_fair.
 	Fairness FairnessMode
-	// PairSamples is the number of random partners per record under
-	// SampledFairness. Default 16.
+	// PairSamples is the number of partners per record under
+	// SampledFairness and NeighborFairness. Default 16.
 	PairSamples int
+	// NeighborK is the neighbour-pool size per record under
+	// NeighborFairness: partners are sampled from the NeighborK nearest
+	// neighbours in the non-protected subspace. Records with fewer than
+	// PairSamples distinct neighbours in the pool pair with all of them.
+	// Default DefaultNeighborK.
+	NeighborK int
 
 	// P is the Minkowski exponent of Def. 7 (p ≥ 1). Default 2. All
 	// exponents train with analytic gradients; note p values near 1 have
@@ -185,6 +212,19 @@ type Options struct {
 	Checkpoint *checkpoint.Manager
 	// MaxIterations bounds L-BFGS iterations per restart. Default 150.
 	MaxIterations int
+	// BatchSize, when positive, trains with mini-batch SGD instead of the
+	// full-batch optimizers: every epoch reshuffles the records (seeded,
+	// without replacement) and steps once per batch on the batch's
+	// sub-objective. Scratch is sized to the batch, not the dataset, so
+	// memory stays flat as M grows. Requires the analytic gradient.
+	// 0 (the default) keeps full-batch L-BFGS / gradient descent.
+	BatchSize int
+	// Epochs bounds SGD epochs per restart (each epoch visits every
+	// record once). Only used when BatchSize > 0. Default 30.
+	Epochs int
+	// LearnRate is the per-item SGD step size: each batch steps by
+	// (LearnRate/batch)·∇. Only used when BatchSize > 0. Default 0.01.
+	LearnRate float64
 	// UseGradientDescent switches the optimiser from L-BFGS to plain
 	// gradient descent (ablation support).
 	UseGradientDescent bool
@@ -192,7 +232,7 @@ type Options struct {
 	Seed int64
 }
 
-func (o *Options) fill(cols int) error {
+func (o *Options) fill(rows, cols int) error {
 	if o.K <= 0 {
 		return errors.New("ifair: Options.K must be positive")
 	}
@@ -204,11 +244,19 @@ func (o *Options) fill(cols int) error {
 			return fmt.Errorf("ifair: protected index %d out of range for %d columns", p, cols)
 		}
 	}
+	if o.Fairness == PairwiseFairness && o.Mu > 0 && rows > MaxPairwiseRows {
+		return fmt.Errorf(
+			"ifair: PairwiseFairness enumerates all %d·(%d−1)/2 record pairs, beyond the %d-row support limit; use SampledFairness or NeighborFairness, whose pair budgets are rows·PairSamples",
+			rows, rows, MaxPairwiseRows)
+	}
 	if o.NearZero <= 0 {
 		o.NearZero = 0.01
 	}
 	if o.PairSamples <= 0 {
 		o.PairSamples = 16
+	}
+	if o.NeighborK <= 0 {
+		o.NeighborK = DefaultNeighborK
 	}
 	if o.P == 0 {
 		o.P = 2
@@ -221,6 +269,20 @@ func (o *Options) fill(cols int) error {
 	}
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 150
+	}
+	if o.BatchSize < 0 {
+		return errors.New("ifair: BatchSize must be non-negative")
+	}
+	if o.BatchSize > 0 {
+		if o.ForceNumericalGradient {
+			return errors.New("ifair: mini-batch training (BatchSize > 0) requires the analytic gradient; unset ForceNumericalGradient")
+		}
+		if o.Epochs <= 0 {
+			o.Epochs = 30
+		}
+		if o.LearnRate <= 0 {
+			o.LearnRate = 0.01
+		}
 	}
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package ifair
+
+// raceEnabled reports whether the race detector is active. Allocation
+// assertions only hold without it: the detector itself adds bookkeeping
+// allocations to instrumented code.
+const raceEnabled = false

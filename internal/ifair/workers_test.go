@@ -18,7 +18,7 @@ func evalAt(m, workers int, opts Options) (loss1, loss2 float64, grad []float64)
 	const n = 4
 	rng := rand.New(rand.NewSource(7))
 	x := randomData(rng, m, n)
-	if err := opts.fill(n); err != nil {
+	if err := opts.fill(m, n); err != nil {
 		panic(err)
 	}
 	opts.Workers = workers
@@ -129,7 +129,7 @@ func TestBuildPairsSampledBudget(t *testing.T) {
 		const samples = 4
 		opts := Options{Fairness: SampledFairness, PairSamples: samples}
 		rng := rand.New(rand.NewSource(3))
-		pairs := buildPairs(m, opts, rng)
+		pairs := buildPairs(mat.NewDense(m, 1), opts, rng)
 		if len(pairs) != m*samples {
 			t.Fatalf("m=%d: %d pairs, want %d", m, len(pairs), m*samples)
 		}
@@ -148,7 +148,7 @@ func TestBuildPairsSampledBudget(t *testing.T) {
 	}
 	for _, m := range []int{0, 1} {
 		rng := rand.New(rand.NewSource(3))
-		if pairs := buildPairs(m, Options{Fairness: SampledFairness, PairSamples: 4}, rng); pairs != nil {
+		if pairs := buildPairs(mat.NewDense(m, 1), Options{Fairness: SampledFairness, PairSamples: 4}, rng); pairs != nil {
 			t.Fatalf("m=%d: pairs = %v, want nil (no distinct partner exists)", m, pairs)
 		}
 	}

@@ -2,9 +2,9 @@ package knn
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // KDTree is a k-d tree over matrix rows for exact nearest-neighbour
@@ -26,8 +26,13 @@ type KDTree struct {
 }
 
 // NewKDTree builds a k-d tree over the rows of data (retained, not
-// copied). Axes are chosen round-robin and split at the median, giving a
-// balanced tree in O(M log² M).
+// copied). Axes are chosen round-robin and split at the median of the
+// (value, index) total order — the same element a full sort would place
+// there — so the tree is identical to the historical sort-based build.
+// Median selection runs in place on one shared row-index slice (children
+// recurse on its disjoint halves), giving O(M log M) expected time and
+// O(log M) extra space: a handful of allocations in total instead of two
+// slice copies plus a sort at every node.
 func NewKDTree(data *mat.Dense) *KDTree {
 	m, n := data.Dims()
 	t := &KDTree{data: data, dims: n, root: -1}
@@ -38,37 +43,101 @@ func NewKDTree(data *mat.Dense) *KDTree {
 	for i := range rows {
 		rows[i] = i
 	}
+	t.idx = make([]int, 0, m)
+	t.axis = make([]int, 0, m)
+	t.left = make([]int, 0, m)
+	t.right = make([]int, 0, m)
 	t.root = t.build(rows, 0)
 	return t
 }
 
-// build recursively constructs the subtree over rows, splitting on depth %
-// dims, and returns the node position.
+// build recursively constructs the subtree over rows — a subslice of the
+// shared backing slice, reordered in place — splitting on depth % dims,
+// and returns the node position.
 func (t *KDTree) build(rows []int, depth int) int {
 	if len(rows) == 0 {
 		return -1
 	}
 	axis := depth % t.dims
-	sort.Slice(rows, func(a, b int) bool {
-		va, vb := t.data.At(rows[a], axis), t.data.At(rows[b], axis)
-		if va != vb {
-			return va < vb
-		}
-		return rows[a] < rows[b]
-	})
 	mid := len(rows) / 2
+	t.selectMedian(rows, mid, axis)
 	node := len(t.idx)
 	t.idx = append(t.idx, rows[mid])
 	t.axis = append(t.axis, axis)
 	t.left = append(t.left, -1)
 	t.right = append(t.right, -1)
 	// Children are built after the parent is appended, so record the
-	// returned positions explicitly.
-	l := t.build(append([]int(nil), rows[:mid]...), depth+1)
-	r := t.build(append([]int(nil), rows[mid+1:]...), depth+1)
+	// returned positions explicitly. The halves are disjoint subslices of
+	// the same backing array — no copies.
+	l := t.build(rows[:mid], depth+1)
+	r := t.build(rows[mid+1:], depth+1)
 	t.left[node] = l
 	t.right[node] = r
 	return node
+}
+
+// rowLess orders row indices by (value on axis, index) — a total order,
+// so quickselect partitions see no equal keys and the k-th element is
+// exactly the one a full sort would place at position k.
+func (t *KDTree) rowLess(a, b, axis int) bool {
+	va, vb := t.data.At(a, axis), t.data.At(b, axis)
+	if va != vb {
+		return va < vb
+	}
+	return a < b
+}
+
+// selectMedian partially orders rows in place so that rows[k] holds the
+// k-th element of the (value, index) total order, everything before it
+// orders below and everything after orders above — quickselect with a
+// deterministic median-of-three pivot.
+func (t *KDTree) selectMedian(rows []int, k, axis int) {
+	lo, hi := 0, len(rows)-1
+	for lo < hi {
+		p := t.hoarePartition(rows, lo, hi, axis)
+		if k <= p {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+}
+
+// hoarePartition partitions rows[lo..hi] around a median-of-three pivot
+// and returns j such that every element of rows[lo..j] orders at or
+// below the pivot and every element of rows[j+1..hi] at or above it,
+// with lo ≤ j < hi.
+func (t *KDTree) hoarePartition(rows []int, lo, hi, axis int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if t.rowLess(rows[mid], rows[lo], axis) {
+		rows[mid], rows[lo] = rows[lo], rows[mid]
+	}
+	if t.rowLess(rows[hi], rows[lo], axis) {
+		rows[hi], rows[lo] = rows[lo], rows[hi]
+	}
+	if t.rowLess(rows[hi], rows[mid], axis) {
+		rows[hi], rows[mid] = rows[mid], rows[hi]
+	}
+	pivot := rows[mid]
+	i, j := lo-1, hi+1
+	for {
+		for {
+			i++
+			if !t.rowLess(rows[i], pivot, axis) {
+				break
+			}
+		}
+		for {
+			j--
+			if !t.rowLess(pivot, rows[j], axis) {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		rows[i], rows[j] = rows[j], rows[i]
+	}
 }
 
 // neighHeap is a bounded max-heap of (dist, idx) candidates, keeping the k
@@ -147,27 +216,28 @@ func (h *neighHeap) siftDown(j int) {
 	}
 }
 
-// sorted returns the heap contents ordered best-first.
-func (h *neighHeap) sorted() []int {
-	type cand struct {
-		d float64
-		i int
-	}
-	cs := make([]cand, len(h.idx))
-	for j := range cs {
-		cs[j] = cand{h.dist[j], h.idx[j]}
-	}
-	sort.Slice(cs, func(a, b int) bool {
-		if cs[a].d != cs[b].d {
-			return cs[a].d < cs[b].d
+// sortInto orders the heap contents best-first — ascending (dist, idx),
+// the brute-force tie-break — in place and copies the indices into dst.
+// Insertion sort: k is small and the scratch arrays are reused, so this
+// allocates nothing (unlike sort.Slice and a candidate copy per query).
+func (h *neighHeap) sortInto(dst []int) {
+	for a := 1; a < len(h.idx); a++ {
+		d, i := h.dist[a], h.idx[a]
+		b := a - 1
+		for b >= 0 && (h.dist[b] > d || (h.dist[b] == d && h.idx[b] > i)) {
+			h.dist[b+1], h.idx[b+1] = h.dist[b], h.idx[b]
+			b--
 		}
-		return cs[a].i < cs[b].i
-	})
-	out := make([]int, len(cs))
-	for j, c := range cs {
-		out[j] = c.i
+		h.dist[b+1], h.idx[b+1] = d, i
 	}
-	return out
+	copy(dst, h.idx)
+}
+
+// reset empties the heap for reuse, keeping the backing arrays.
+func (h *neighHeap) reset(k int) {
+	h.k = k
+	h.dist = h.dist[:0]
+	h.idx = h.idx[:0]
 }
 
 // Neighbors returns the k nearest rows to row i, excluding i itself,
@@ -191,7 +261,9 @@ func (t *KDTree) Neighbors(i, k int) []int {
 	}
 	h := &neighHeap{k: k}
 	t.search(t.root, t.data.Row(i), i, h)
-	return h.sorted()
+	out := make([]int, len(h.idx))
+	h.sortInto(out)
+	return out
 }
 
 // search walks the tree, pruning subtrees whose splitting plane is further
@@ -222,9 +294,47 @@ func (t *KDTree) search(node int, query []float64, exclude int, h *neighHeap) {
 
 // AllNeighbors returns the k-nearest-neighbour lists for every row.
 func (t *KDTree) AllNeighbors(k int) [][]int {
-	out := make([][]int, t.data.Rows())
-	for i := range out {
-		out[i] = t.Neighbors(i, k)
+	return t.AllNeighborsWorkers(k, 1)
+}
+
+// AllNeighborsWorkers is AllNeighbors fanned out over up to workers
+// goroutines (≤ 1 runs inline). Each row's list is a pure function of
+// the immutable tree, the row index and k, and every row is computed by
+// exactly one chunk, so the output is bit-identical for every worker
+// count — the internal/par determinism contract.
+//
+// Every row has exactly min(k, m−1) neighbours, so all lists live in one
+// flat backing slice and each chunk reuses a single candidate heap:
+// O(1) allocations per worker instead of several per row, which is what
+// makes the million-row pair-sampling build practical.
+func (t *KDTree) AllNeighborsWorkers(k, workers int) [][]int {
+	m := t.data.Rows()
+	out := make([][]int, m)
+	if m == 0 {
+		return out
 	}
+	if k < 0 {
+		panic(fmt.Sprintf("knn: negative k %d", k))
+	}
+	keff := k
+	if keff > m-1 {
+		keff = m - 1
+	}
+	flat := make([]int, m*keff)
+	par.Chunks(m).Run(workers, func(_, lo, hi int) {
+		h := &neighHeap{
+			dist: make([]float64, 0, keff),
+			idx:  make([]int, 0, keff),
+		}
+		for i := lo; i < hi; i++ {
+			dst := flat[i*keff : (i+1)*keff : (i+1)*keff]
+			h.reset(keff)
+			if keff > 0 {
+				t.search(t.root, t.data.Row(i), i, h)
+				h.sortInto(dst)
+			}
+			out[i] = dst
+		}
+	})
 	return out
 }

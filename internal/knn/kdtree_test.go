@@ -130,6 +130,138 @@ func TestKDTreeDuplicatePoints(t *testing.T) {
 	}
 }
 
+// TestKDTreeDegenerateAxes sweeps duplicate-heavy data with constant
+// (zero-variance) columns — every split on such an axis degenerates to
+// the pure index order — and checks exact agreement with brute force.
+func TestKDTreeDegenerateAxes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(80)
+		n := 1 + rng.Intn(6)
+		data := mat.NewDense(m, n)
+		// Choose a random subset of columns to hold one constant value;
+		// the rest draw from a tiny alphabet so duplicates dominate.
+		constCol := make([]bool, n)
+		for j := range constCol {
+			constCol[j] = rng.Intn(2) == 0
+		}
+		for i := 0; i < m; i++ {
+			row := data.Row(i)
+			for j := range row {
+				if constCol[j] {
+					row[j] = 7
+				} else {
+					row[j] = float64(rng.Intn(3))
+				}
+			}
+		}
+		tree := NewKDTree(data)
+		brute := NewIndex(data)
+		k := 1 + rng.Intn(12)
+		for i := 0; i < m; i++ {
+			got, want := tree.Neighbors(i, k), brute.Neighbors(i, k)
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKDTreeAllColumnsConstant pins the fully degenerate case: every
+// axis ties on every record, so neighbours are decided by index alone.
+func TestKDTreeAllColumnsConstant(t *testing.T) {
+	m := 37
+	data := mat.NewDense(m, 3)
+	for i := range data.Data() {
+		data.Data()[i] = 1.5
+	}
+	tree := NewKDTree(data)
+	brute := NewIndex(data)
+	for i := 0; i < m; i++ {
+		got, want := tree.Neighbors(i, 5), brute.Neighbors(i, 5)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d: got %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestAllNeighborsWorkersBitIdentical checks the parallel fan-out
+// returns exactly the serial lists for every worker count.
+func TestAllNeighborsWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 300, 4
+	data := mat.NewDense(m, n)
+	for i := range data.Data() {
+		data.Data()[i] = float64(rng.Intn(5))
+	}
+	tree := NewKDTree(data)
+	want := tree.AllNeighbors(7)
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		got := tree.AllNeighborsWorkers(7, workers)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d row %d: got %v, want %v", workers, i, got[i], want[i])
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d row %d: got %v, want %v", workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKDTreeBuildAllocs is the allocation-regression gate for the
+// in-place build: construction must allocate a constant handful of
+// slices (the row permutation plus four node arrays), never per-node
+// copies. Race-gated like internal/kernel's pooled-scratch assertions.
+func TestKDTreeBuildAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	rng := rand.New(rand.NewSource(1))
+	m, n := 20000, 6
+	data := mat.NewDense(m, n)
+	for i := range data.Data() {
+		data.Data()[i] = rng.NormFloat64()
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		NewKDTree(data)
+	})
+	// 1 tree struct + 1 row permutation + 4 node arrays, with a little
+	// headroom; the copying build needed ~2 allocations per node (40k+).
+	if allocs > 8 {
+		t.Fatalf("build of %d rows allocated %.0f objects, want ≤ 8", m, allocs)
+	}
+}
+
+// BenchmarkKDTreeBuild measures tree construction at 100k rows — the
+// kd-tree cost that used to dominate million-row neighbour sampling.
+func BenchmarkKDTreeBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 100000, 8
+	data := mat.NewDense(m, n)
+	for i := range data.Data() {
+		data.Data()[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewKDTree(data)
+	}
+}
+
 func BenchmarkNeighbors(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	m, n := 2000, 8

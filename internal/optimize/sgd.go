@@ -1,0 +1,185 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// BatchObjective is a decomposable objective: a sum of per-item terms
+// that can be evaluated — with its gradient — on a subset of the items.
+// It is the contract mini-batch SGD trains against.
+//
+// EvalBatch must return the value of the sub-objective restricted to the
+// given item indices and write its gradient into grad (full parameter
+// length, overwritten). Implementations must not retain batch, x or
+// grad. The batch slice is a contiguous window of a shuffled permutation
+// and is never empty.
+type BatchObjective interface {
+	// Items returns the number of decomposable work items (records).
+	Items() int
+	// EvalBatch evaluates the sub-objective over the items in batch.
+	EvalBatch(batch []int, x, grad []float64) float64
+}
+
+// SGDSettings configures mini-batch stochastic gradient descent. The
+// embedded Settings fields are reinterpreted per epoch: MaxIterations is
+// the epoch budget, FuncTol compares successive epoch losses, and
+// Callback/Snapshot fire once per epoch (so checkpointing and tracing
+// work exactly as they do for the full-batch optimizers). GradTol and
+// Memory are ignored — a stochastic gradient never converges to zero.
+type SGDSettings struct {
+	Settings
+	// BatchSize is the number of items per mini-batch. Default 256. The
+	// final batch of an epoch may be smaller.
+	BatchSize int
+	// LearnRate is the per-item step size: each batch steps
+	// x -= (LearnRate/len(batch))·∇f_batch, so the step scale is
+	// independent of the batch size. Default 0.01.
+	LearnRate float64
+	// LearnRateDecay anneals the rate: lr_e = LearnRate/(1+Decay·e) at
+	// epoch e. Default 0 (constant rate).
+	LearnRateDecay float64
+	// Seed drives the without-replacement batch shuffle. Epoch e
+	// reshuffles the item permutation with a stream derived only from
+	// (Seed, e), so a run is deterministic in Seed regardless of how the
+	// objective parallelises its evaluations.
+	Seed int64
+}
+
+func (s *SGDSettings) fill() {
+	s.Settings.fill()
+	if s.BatchSize <= 0 {
+		s.BatchSize = 256
+	}
+	if s.LearnRate <= 0 {
+		s.LearnRate = 0.01
+	}
+	if s.LearnRateDecay < 0 {
+		s.LearnRateDecay = 0
+	}
+}
+
+// SGD minimises a decomposable objective with mini-batch stochastic
+// gradient descent: every epoch reshuffles the items (seeded, without
+// replacement), partitions them into consecutive batches and takes one
+// normalised gradient step per batch. Because each item appears in
+// exactly one batch per epoch, the summed batch losses of an epoch
+// approximate the full objective along the trajectory — that sum is the
+// per-epoch Iteration.F reported to Callback/Snapshot and tested against
+// FuncTol.
+//
+// Divergence is hardened the same way the GradientDescent fallback is: a
+// non-finite batch loss or gradient never updates the parameters —
+// the iterate reverts to the last finite point, the learning rate is
+// halved and the epoch continues. When the rate collapses the run stops
+// with Status Diverged carrying the last finite iterate, never poisoned
+// parameters.
+//
+// x0 is not modified.
+func SGD(obj BatchObjective, x0 []float64, settings SGDSettings) (Result, error) {
+	settings.fill()
+	n := len(x0)
+	if n == 0 {
+		return Result{}, ErrEmptyProblem
+	}
+	items := obj.Items()
+	if items <= 0 {
+		return Result{}, errors.New("optimize: batch objective has no items")
+	}
+	batch := settings.BatchSize
+	if batch > items {
+		batch = items
+	}
+
+	x := append([]float64(nil), x0...)
+	xGood := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	perm := make([]int, items)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	evals := 0
+	f0 := obj.EvalBatch(perm[:batch], x, grad)
+	evals++
+	if math.IsNaN(f0) || math.IsInf(f0, 0) {
+		return Result{X: x, F: f0, Status: Diverged, Evals: evals},
+			errors.New("optimize: objective is not finite at the initial point")
+	}
+
+	lr := settings.LearnRate
+	prevEpochLoss := math.NaN()
+	var lastF, lastGradNorm float64
+	result := func(status Status, epochs int) Result {
+		return Result{X: x, F: lastF, GradNorm: lastGradNorm, Iterations: epochs, Evals: evals, Status: status}
+	}
+
+	for epoch := 0; epoch < settings.MaxIterations; epoch++ {
+		// Seeded without-replacement shuffle: the epoch's stream depends
+		// only on (Seed, epoch), via the same splitmix64 derivation as
+		// the restart pool.
+		rng := rand.New(rand.NewSource(RestartSeed(settings.Seed, epoch+1)))
+		for i := items - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		rate := lr
+		if settings.LearnRateDecay > 0 {
+			rate = lr / (1 + settings.LearnRateDecay*float64(epoch))
+		}
+
+		var epochLoss float64
+		sawNonFinite := false
+		for lo := 0; lo < items; lo += batch {
+			hi := lo + batch
+			if hi > items {
+				hi = items
+			}
+			b := perm[lo:hi]
+			fB := obj.EvalBatch(b, x, grad)
+			evals++
+			if math.IsNaN(fB) || math.IsInf(fB, 0) || !allFinite(grad) {
+				// Reject the poisoned region exactly like the GD
+				// fallback rejects a bad step: back off to the last
+				// finite iterate and shrink the rate.
+				copy(x, xGood)
+				lr /= 2
+				rate /= 2
+				sawNonFinite = true
+				if lr < 1e-18 {
+					return result(Diverged, epoch), nil
+				}
+				continue
+			}
+			copy(xGood, x)
+			lastF, lastGradNorm = fB, infNorm(grad)
+			epochLoss += fB
+			step := rate / float64(len(b))
+			for i := range x {
+				x[i] -= step * grad[i]
+			}
+		}
+
+		it := Iteration{Iter: epoch, F: epochLoss, GradNorm: lastGradNorm, Step: rate, Evals: evals}
+		if settings.Snapshot != nil {
+			settings.Snapshot(it, x)
+		}
+		if settings.Callback != nil {
+			if settings.Callback(it) {
+				lastF = epochLoss
+				return result(Stopped, epoch+1), nil
+			}
+		}
+		if !sawNonFinite {
+			if !math.IsNaN(prevEpochLoss) &&
+				math.Abs(prevEpochLoss-epochLoss) <= settings.FuncTol*(1+math.Abs(epochLoss)) {
+				lastF = epochLoss
+				return result(SmallImprovement, epoch+1), nil
+			}
+			prevEpochLoss = epochLoss
+		}
+		lastF = epochLoss
+	}
+	return result(MaxIterations, settings.MaxIterations), nil
+}

@@ -1,0 +1,248 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// quadBatch is a decomposable least-squares problem: items are targets
+// t_i, the objective is Σ_i ‖x − t_i‖², minimised at the mean target.
+type quadBatch struct {
+	targets [][]float64
+}
+
+func (q *quadBatch) Items() int { return len(q.targets) }
+
+func (q *quadBatch) EvalBatch(batch []int, x, grad []float64) float64 {
+	for i := range grad {
+		grad[i] = 0
+	}
+	var loss float64
+	for _, it := range batch {
+		t := q.targets[it]
+		for j := range x {
+			d := x[j] - t[j]
+			loss += d * d
+			grad[j] += 2 * d
+		}
+	}
+	return loss
+}
+
+func newQuadBatch(items, dim int) *quadBatch {
+	q := &quadBatch{targets: make([][]float64, items)}
+	for i := range q.targets {
+		t := make([]float64, dim)
+		for j := range t {
+			t[j] = float64((i+j)%5) - 2
+		}
+		q.targets[i] = t
+	}
+	return q
+}
+
+func (q *quadBatch) mean() []float64 {
+	dim := len(q.targets[0])
+	m := make([]float64, dim)
+	for _, t := range q.targets {
+		for j, v := range t {
+			m[j] += v
+		}
+	}
+	for j := range m {
+		m[j] /= float64(len(q.targets))
+	}
+	return m
+}
+
+func TestSGDConvergesToMean(t *testing.T) {
+	q := newQuadBatch(200, 3)
+	res, err := SGD(q, []float64{9, -7, 4}, SGDSettings{
+		Settings:       Settings{MaxIterations: 200},
+		BatchSize:      16,
+		LearnRate:      0.2,
+		LearnRateDecay: 0.5,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.mean()
+	for j := range want {
+		if math.Abs(res.X[j]-want[j]) > 0.05 {
+			t.Fatalf("x[%d] = %v, want ≈ %v (status %s)", j, res.X[j], want[j], res.Status)
+		}
+	}
+}
+
+func TestSGDDeterministicInSeed(t *testing.T) {
+	q := newQuadBatch(100, 2)
+	run := func() []float64 {
+		res, err := SGD(q, []float64{3, 3}, SGDSettings{
+			Settings:  Settings{MaxIterations: 7},
+			BatchSize: 9,
+			LearnRate: 0.1,
+			Seed:      42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.X
+	}
+	a, b := run(), run()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("runs differ at %d: %v vs %v", j, a[j], b[j])
+		}
+	}
+	res, err := SGD(q, []float64{3, 3}, SGDSettings{
+		Settings:  Settings{MaxIterations: 7},
+		BatchSize: 9,
+		LearnRate: 0.1,
+		Seed:      43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a {
+		if a[j] != res.X[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestSGDEpochEvents(t *testing.T) {
+	q := newQuadBatch(50, 2)
+	var iters []Iteration
+	var snaps int
+	res, err := SGD(q, []float64{1, 1}, SGDSettings{
+		Settings: Settings{
+			MaxIterations: 5,
+			FuncTol:       -1, // negative disables via fill default? ensure epochs run
+			Callback: func(it Iteration) bool {
+				iters = append(iters, it)
+				return false
+			},
+			Snapshot: func(it Iteration, x []float64) { snaps++ },
+		},
+		BatchSize: 10,
+		LearnRate: 0.05,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 || snaps != len(iters) {
+		t.Fatalf("callbacks %d, snapshots %d", len(iters), snaps)
+	}
+	for e, it := range iters {
+		if it.Iter != e {
+			t.Fatalf("epoch %d reported as %d", e, it.Iter)
+		}
+		if math.IsNaN(it.F) || it.Step <= 0 {
+			t.Fatalf("bad iteration event %+v", it)
+		}
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no epochs recorded")
+	}
+}
+
+func TestSGDCallbackStops(t *testing.T) {
+	q := newQuadBatch(50, 2)
+	res, err := SGD(q, []float64{1, 1}, SGDSettings{
+		Settings: Settings{
+			MaxIterations: 100,
+			Callback:      func(it Iteration) bool { return it.Iter >= 2 },
+		},
+		BatchSize: 10,
+		LearnRate: 0.05,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Stopped || res.Iterations != 3 {
+		t.Fatalf("status %s after %d epochs, want stopped after 3", res.Status, res.Iterations)
+	}
+}
+
+// poisonBatch turns non-finite after a fixed number of evaluations,
+// exercising the divergence hardening.
+type poisonBatch struct {
+	quad   *quadBatch
+	evals  int
+	poison int
+}
+
+func (p *poisonBatch) Items() int { return p.quad.Items() }
+
+func (p *poisonBatch) EvalBatch(batch []int, x, grad []float64) float64 {
+	p.evals++
+	if p.evals > p.poison {
+		for i := range grad {
+			grad[i] = math.NaN()
+		}
+		return math.NaN()
+	}
+	return p.quad.EvalBatch(batch, x, grad)
+}
+
+func TestSGDDivergenceKeepsLastFiniteIterate(t *testing.T) {
+	p := &poisonBatch{quad: newQuadBatch(60, 2), poison: 8}
+	res, err := SGD(p, []float64{5, 5}, SGDSettings{
+		Settings:  Settings{MaxIterations: 100},
+		BatchSize: 10,
+		LearnRate: 0.05,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Diverged {
+		t.Fatalf("status = %s, want diverged", res.Status)
+	}
+	for j, v := range res.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x[%d] = %v: poisoned parameters returned", j, v)
+		}
+	}
+}
+
+func TestSGDNonFiniteInitialPoint(t *testing.T) {
+	p := &poisonBatch{quad: newQuadBatch(10, 2), poison: 0}
+	_, err := SGD(p, []float64{1, 1}, SGDSettings{Settings: Settings{MaxIterations: 5}})
+	if err == nil {
+		t.Fatal("expected an error for a non-finite initial objective")
+	}
+}
+
+func TestSGDEmptyProblem(t *testing.T) {
+	q := newQuadBatch(10, 2)
+	if _, err := SGD(q, nil, SGDSettings{}); err != ErrEmptyProblem {
+		t.Fatalf("err = %v, want ErrEmptyProblem", err)
+	}
+}
+
+func TestSGDBatchLargerThanItems(t *testing.T) {
+	q := newQuadBatch(5, 2)
+	res, err := SGD(q, []float64{4, 4}, SGDSettings{
+		Settings:  Settings{MaxIterations: 300},
+		BatchSize: 64,
+		LearnRate: 0.2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.mean()
+	for j := range want {
+		if math.Abs(res.X[j]-want[j]) > 1e-3 {
+			t.Fatalf("x = %v, want ≈ %v", res.X, want)
+		}
+	}
+}

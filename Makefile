@@ -4,17 +4,18 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers test-faults test-overload test-router loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare bench-fit-compare experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults test-overload test-router test-rollout loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare bench-fit-compare experiments examples serve fmt vet clean
 
 # vet, race, the widened worker sweep, the crash-safety fault sweep, the
-# overload soak and the router replica-kill soak run on every default
-# invocation so the concurrent registry/batcher code in internal/server,
-# the chunked-parallel objective paths, the checkpoint/resume machinery,
-# the admission/load-shedding path and the scale-out routing tier are
-# checked routinely. bench-compare and bench-fit-compare are soft gates
-# (leading -): a noisy box must not fail the build, but allocation and
-# training-loss regressions get printed.
-all: build vet test race test-workers test-faults test-overload test-router
+# overload soak, the router replica-kill soak and the closed-loop rollout
+# soak run on every default invocation so the concurrent registry/batcher
+# code in internal/server, the chunked-parallel objective paths, the
+# checkpoint/resume machinery, the admission/load-shedding path, the
+# scale-out routing tier and the canary guard are checked routinely.
+# bench-compare and bench-fit-compare are soft gates (leading -): a noisy
+# box must not fail the build, but allocation and training-loss
+# regressions get printed.
+all: build vet test race test-workers test-faults test-overload test-router test-rollout
 	-$(MAKE) bench-compare
 	-$(MAKE) bench-fit-compare
 
@@ -53,6 +54,17 @@ test-overload:
 test-router:
 	$(GO) test -race ./internal/router/
 	$(GO) test -race -run 'TestSync' ./internal/server/
+
+# Widened closed-loop rollout soak: the canary guard under concurrent
+# keyed traffic with a seeded corrupted-canary deploy and a mid-window
+# drift injection (must roll back both, then promote a healthy refit),
+# under the race detector, plus the rollout/splitting/registry suites
+# and the drift/stats unit+property tests.
+test-rollout:
+	IFAIR_TEST_ROLLOUT=1 $(GO) test -race \
+		-run 'TestRollout|TestSplit|TestRegistry|TestClientTransformKeyed' \
+		./internal/server/
+	$(GO) test -race ./internal/drift/ ./internal/stats/
 
 # Closed-loop load-generator smoke test: spins an in-process server over
 # a synthetic model, drives it with bursts for 2 seconds, and fails on

@@ -20,6 +20,14 @@
 // POST /v1/models/{name}/probabilities, GET /v1/models, GET /healthz,
 // GET /readyz, GET /metrics. SIGINT/SIGTERM drain in-flight requests
 // before exit.
+//
+// With -rollout, new model versions do not serve immediately: the guard
+// loop adopts each as a canary on a deterministic slice of traffic
+// (keyed by X-Canary-Key or a row hash), watches live input drift (PSI
+// against the model's fit-time `<name>.profile`), a live yNN-consistency
+// estimate per arm, error rates and latency, then auto-promotes after a
+// healthy window or rolls back and quarantines the version. See the
+// README's "Closed-loop rollout" section.
 package main
 
 import (
@@ -62,6 +70,13 @@ func run() error {
 		syncEvery = flag.Duration("sync-every", 10*time.Second, "model-dir sync interval when -sync-from is set")
 		syncPrune = flag.Bool("sync-prune", false, "also remove local model files the sync origin no longer has")
 
+		rollout      = flag.Bool("rollout", false, "closed-loop canary guard: new model versions canary on a traffic slice and auto-promote or roll back")
+		canaryFrac   = flag.Float64("canary-fraction", 0, "rollout: share of traffic on the canary arm (0 = default 0.1)")
+		canaryWindow = flag.Duration("canary-window", 0, "rollout: healthy observation window before promotion (0 = default 1m)")
+		canaryMinReq = flag.Int64("canary-min-requests", 0, "rollout: minimum canary-arm requests before any verdict (0 = default 200)")
+		driftPSI     = flag.Float64("drift-psi", 0, "rollout: per-feature PSI alarm threshold (0 = default 0.25)")
+		guardTick    = flag.Duration("guard-tick", 0, "rollout: guard-loop evaluation period (0 = default 1s)")
+
 		maxInflight  = flag.Int("max-inflight", 0, "admission: concurrent transform/probabilities requests (0 = 8×GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "admission: waiting requests beyond the inflight cap (0 = 2×inflight, negative disables queueing)")
 		queueWait    = flag.Duration("queue-wait", 0, "admission: max time a request may queue before being shed (0 = timeout/2, negative disables)")
@@ -73,6 +88,18 @@ func run() error {
 	flag.Parse()
 	if *models == "" {
 		return errors.New("specify -models <dir>")
+	}
+
+	var rolloutCfg *server.RolloutConfig
+	if *rollout {
+		rolloutCfg = &server.RolloutConfig{
+			Fraction:     *canaryFrac,
+			Window:       *canaryWindow,
+			MinRequests:  *canaryMinReq,
+			DriftPSI:     *driftPSI,
+			TickInterval: *guardTick,
+			Logf:         log.Printf,
+		}
 	}
 
 	s, err := server.New(server.Config{
@@ -90,6 +117,7 @@ func run() error {
 		FlushWorkers:   *flushWorkers,
 		MaxPending:     *maxPending,
 		Float32:        *float32Repr,
+		Rollout:        rolloutCfg,
 	})
 	if err != nil {
 		// A partial load (some corrupt files) is survivable; an empty
@@ -111,6 +139,13 @@ func run() error {
 
 	if *reload > 0 {
 		go s.Registry().Watch(ctx, *reload, log.Printf)
+	}
+	if *rollout {
+		// The guard loop adopts newly reloaded/synced versions as canaries
+		// and promotes or rolls them back; without it new versions would
+		// stay pinned out of the serving path.
+		log.Printf("canary guard enabled (drift profiles from %s/<name>.profile)", *models)
+		go s.Rollouts().Run(ctx)
 	}
 	if *syncFrom != "" {
 		syncer := &server.Syncer{

@@ -8,6 +8,8 @@
 //	ifair -input data.csv -protected 3,4 -k 20 -out fair.csv
 //	ifair -dataset credit -checkpoint ckpt/ -out fair.csv   # crash-safe
 //	ifair -input big.csv -fairness neighbor -batch 1024 -epochs 20 -out fair.csv
+//	ifair -dataset credit -save models/credit@v1.json -save-profile models/credit.profile
+//	ifair -dataset credit -warm-start models/credit@v1.json -save models/credit@v2.json
 //
 // Large datasets train with -fairness neighbor (fairness pairs drawn
 // from each record's nearest neighbours on the non-protected columns)
@@ -41,6 +43,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/dataset"
+	"repro/internal/drift"
 	"repro/internal/ifair"
 	"repro/internal/mat"
 	"repro/internal/optimize"
@@ -77,6 +80,9 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "random seed")
 		saveModel = flag.String("save", "", "write the trained model as JSON to this path")
 		loadModel = flag.String("load", "", "skip training: load a model JSON and transform the input")
+		warmStart = flag.String("warm-start", "", "seed restart 0 from this model JSON (refit: continue from the served representation)")
+		saveProf  = flag.String("save-profile", "", "write a drift profile (baseline stats + reference sample of the training data) to this path")
+		profRows  = flag.Int("profile-rows", drift.DefaultReferenceRows, "reference rows sampled into the drift profile (with -save-profile)")
 		explain   = flag.Bool("explain", false, "print the learned attribute weights (largest first) to stderr")
 		ckptDir   = flag.String("checkpoint", "", "directory for crash-safe training snapshots (enables checkpointing)")
 		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot at least every N optimizer iterations")
@@ -87,6 +93,10 @@ func run() error {
 	x, protCols, header, err := loadData(*dsName, *input, *protected, *seed)
 	if err != nil {
 		return err
+	}
+
+	if *loadModel != "" && *warmStart != "" {
+		return fmt.Errorf("-warm-start seeds training; it cannot be combined with -load (which skips training)")
 	}
 
 	var model *ifair.Model
@@ -124,6 +134,15 @@ func run() error {
 		}
 		if *variantB {
 			opts.Init = ifair.InitMaskedProtected
+		}
+		if *warmStart != "" {
+			donor, err := ifair.LoadModelFile(*warmStart)
+			if err != nil {
+				return fmt.Errorf("warm start: %w", err)
+			}
+			opts.WarmStart = donor
+			fmt.Fprintf(os.Stderr, "warm-starting restart 0 from %s (K=%d, N=%d, loss %.6g)\n",
+				*warmStart, donor.K(), donor.Dims(), donor.Loss)
 		}
 		if *progress {
 			opts.Trace = &progressTrace{w: os.Stderr}
@@ -176,6 +195,18 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
+	}
+	if *saveProf != "" {
+		// The serving tier's drift monitor and live-yNN estimator compare
+		// traffic against exactly this training distribution; place the
+		// file at server.ProfilePath(modelsDir, name) to arm the rollout
+		// guard for the model.
+		p := drift.NewProfile(x, 0, *profRows, *seed)
+		if err := drift.SaveProfile(*saveProf, p); err != nil {
+			return fmt.Errorf("save profile: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "saved drift profile to %s (%d reference rows)\n",
+			*saveProf, len(p.Reference))
 	}
 	if *explain {
 		fmt.Fprintln(os.Stderr, "learned attribute weights (α, largest first):")

@@ -22,6 +22,11 @@
 // the router routes around the dead backend:
 //
 //	loadgen -selftest -replicas 4 -chaos 2 -duration 8s
+//
+// Against a server running a canary rollout (ifair-server -rollout),
+// -canary-report sends a distinct X-Canary-Key per request and breaks
+// goodput and latency down per served model version, so a soak can
+// assert the canary arm's parity with the stable arm.
 package main
 
 import (
@@ -54,8 +59,9 @@ func main() {
 }
 
 type report struct {
-	mu        sync.Mutex
-	latencies []time.Duration
+	mu         sync.Mutex
+	latencies  []time.Duration
+	perVersion map[int]*versionStats
 
 	attempts atomic.Int64
 	ok       atomic.Int64
@@ -66,9 +72,39 @@ type report struct {
 	okPerTarget []atomic.Int64
 }
 
+// versionStats aggregates the requests one model version served — the
+// per-arm breakdown a canary soak compares across the split.
+type versionStats struct {
+	ok        int64
+	latencies []time.Duration
+}
+
+func (v *versionStats) quantile(q float64) time.Duration {
+	if len(v.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(v.latencies, func(i, j int) bool { return v.latencies[i] < v.latencies[j] })
+	return v.latencies[int(q*float64(len(v.latencies)-1))]
+}
+
 func (r *report) observe(d time.Duration) {
 	r.mu.Lock()
 	r.latencies = append(r.latencies, d)
+	r.mu.Unlock()
+}
+
+func (r *report) observeVersion(version int, d time.Duration) {
+	r.mu.Lock()
+	if r.perVersion == nil {
+		r.perVersion = make(map[int]*versionStats)
+	}
+	vs := r.perVersion[version]
+	if vs == nil {
+		vs = &versionStats{}
+		r.perVersion[version] = vs
+	}
+	vs.ok++
+	vs.latencies = append(vs.latencies, d)
 	r.mu.Unlock()
 }
 
@@ -98,6 +134,7 @@ func run() error {
 		burstMax    = flag.Int("burst-max", 4, "maximum load multiplier during a burst")
 		seed        = flag.Int64("seed", 1, "seed for the burst and chaos schedules (replays exactly)")
 		minGoodput  = flag.Float64("min-goodput", 0, "exit 1 if successful requests/sec falls below this")
+		canaryRpt   = flag.Bool("canary-report", false, "send a distinct X-Canary-Key per request and report per-version (per-arm) goodput and latency")
 		selftest    = flag.Bool("selftest", false, "spin an in-process fleet over a synthetic model and drive that")
 		replicas    = flag.Int("replicas", 1, "selftest: replica servers behind an in-process router (1 = bare server)")
 		chaos       = flag.Int("chaos", 0, "selftest: seeded replica outages injected during the run")
@@ -176,6 +213,7 @@ func run() error {
 			defer wg.Done()
 			target := w % len(targets)
 			client := clients[target]
+			seq := 0
 			for ctx.Err() == nil {
 				tick := int(time.Since(start).Seconds())
 				if w >= *concurrency*faultinject.FactorAt(schedule, tick) {
@@ -189,13 +227,25 @@ func run() error {
 				rep.attempts.Add(1)
 				reqCtx, reqCancel := context.WithTimeout(ctx, *deadline)
 				t0 := time.Now()
-				_, err := client.Transform(reqCtx, *model, row)
+				var err error
+				version := 0
+				if *canaryRpt {
+					// A fresh key per request samples the traffic split; the
+					// response's version attributes the latency to its arm.
+					seq++
+					_, version, err = client.TransformKeyed(reqCtx, *model, fmt.Sprintf("lg-%d-%d", w, seq), row)
+				} else {
+					_, err = client.Transform(reqCtx, *model, row)
+				}
 				reqCancel()
 				switch {
 				case err == nil:
 					rep.ok.Add(1)
 					rep.okPerTarget[target].Add(1)
 					rep.observe(time.Since(t0))
+					if *canaryRpt {
+						rep.observeVersion(version, time.Since(t0))
+					}
 				case isShed(err):
 					rep.shed.Add(1)
 				case reqCtx.Err() != nil && ctx.Err() == nil:
@@ -241,6 +291,27 @@ func run() error {
 	fmt.Printf("client          %d round trips, %d retries, %d sheds seen\n", trips, retriesSeen, shedsSeen)
 	if len(schedule) > 0 {
 		fmt.Printf("bursts          %+v\n", schedule)
+	}
+	if *canaryRpt {
+		rep.mu.Lock()
+		versions := make([]int, 0, len(rep.perVersion))
+		for v := range rep.perVersion {
+			versions = append(versions, v)
+		}
+		sort.Ints(versions)
+		fmt.Printf("canary report (per served version):\n")
+		okTotal := rep.ok.Load()
+		for _, v := range versions {
+			vs := rep.perVersion[v]
+			share := 0.0
+			if okTotal > 0 {
+				share = 100 * float64(vs.ok) / float64(okTotal)
+			}
+			fmt.Printf("  v%-3d          %d ok (%.1f%%, %.1f req/s)  p50 %v  p99 %v\n",
+				v, vs.ok, share, float64(vs.ok)/elapsed.Seconds(),
+				vs.quantile(0.50).Round(time.Microsecond), vs.quantile(0.99).Round(time.Microsecond))
+		}
+		rep.mu.Unlock()
 	}
 
 	if rep.errs.Load() > 0 && rep.ok.Load() == 0 {

@@ -193,3 +193,61 @@ func DownAt(outages []Outage, replica, tick int) bool {
 	}
 	return false
 }
+
+// Window is one phase of a generic event schedule: some condition (a
+// drift injection, a corrupted-canary deploy) is active for Len ticks
+// starting at Start.
+type Window struct {
+	// Start is the tick at which the window opens.
+	Start int
+	// Len is the window duration in ticks (≥ 1).
+	Len int
+}
+
+// Windows derives n non-overlapping event windows across [0, horizon)
+// ticks from a seed, with the same splitmix64 mixing and equal-slice
+// placement as Bursts and Outages: window i lives inside
+// [i·horizon/n, (i+1)·horizon/n), so events never overlap and the
+// schedule replays exactly from the seed. The rollout chaos soak uses
+// one schedule for its drift injection and another (different seed) for
+// the corrupted-canary deploy.
+func Windows(seed int64, n, horizon, minLen, maxLen int) []Window {
+	if n < 1 || horizon < 1 {
+		return nil
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	slice := horizon / n
+	if slice < 1 {
+		slice = 1
+	}
+	out := make([]Window, 0, n)
+	for i := 0; i < n; i++ {
+		z := uint64(optimize.RestartSeed(seed, i+1))
+		length := minLen + int(z%uint64(maxLen-minLen+1))
+		if length > slice {
+			length = slice
+		}
+		slack := slice - length
+		start := i * slice
+		if slack > 0 {
+			start += int((z >> 16) % uint64(slack+1))
+		}
+		out = append(out, Window{Start: start, Len: length})
+	}
+	return out
+}
+
+// ActiveAt reports whether the tick falls inside any window.
+func ActiveAt(windows []Window, tick int) bool {
+	for _, w := range windows {
+		if tick >= w.Start && tick < w.Start+w.Len {
+			return true
+		}
+	}
+	return false
+}

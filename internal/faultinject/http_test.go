@@ -187,3 +187,62 @@ func TestDownAt(t *testing.T) {
 		}
 	}
 }
+
+func TestWindowsDeterministicAndNonOverlapping(t *testing.T) {
+	a := Windows(11, 3, 300, 5, 40)
+	b := Windows(11, 3, 300, 5, 40)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 windows, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Len < 1 || a[i].Len > 40 {
+			t.Fatalf("window %d length %d out of [1, 40]", i, a[i].Len)
+		}
+		if a[i].Start < i*100 || a[i].Start+a[i].Len > (i+1)*100 {
+			t.Fatalf("window %d %+v escapes its slice [%d, %d)", i, a[i], i*100, (i+1)*100)
+		}
+	}
+	// A different seed moves the windows.
+	c := Windows(12, 3, 300, 5, 40)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// ActiveAt covers exactly the scheduled ticks.
+	covered := 0
+	for tick := 0; tick < 300; tick++ {
+		if ActiveAt(a, tick) {
+			covered++
+		}
+	}
+	want := 0
+	for _, w := range a {
+		want += w.Len
+	}
+	if covered != want {
+		t.Fatalf("ActiveAt covered %d ticks, schedule says %d", covered, want)
+	}
+}
+
+func TestWindowsDegenerateInputs(t *testing.T) {
+	if got := Windows(1, 0, 100, 1, 5); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+	if got := Windows(1, 2, 0, 1, 5); got != nil {
+		t.Fatalf("horizon=0 returned %v", got)
+	}
+	// minLen > maxLen and tiny horizons still produce in-bounds windows.
+	for _, w := range Windows(3, 4, 4, 3, 1) {
+		if w.Len < 1 || w.Start < 0 || w.Start+w.Len > 4 {
+			t.Fatalf("degenerate window %+v out of bounds", w)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"io"
 	"math"
 
 	"repro/internal/checkpoint"
@@ -28,15 +29,31 @@ func checkpointFingerprint(x *mat.Dense, o *Options) string {
 		o.Fairness, o.PairSamples, o.NeighborK, o.P, o.TakeRoot, o.Kernel,
 		o.ForceNumericalGradient, o.MaxIterations, o.UseGradientDescent,
 		o.BatchSize, o.Epochs, o.LearnRate)
+	// A warm start changes restart 0's trajectory, so its parameters are
+	// part of the problem identity: a checkpoint taken without one (or
+	// from a different donor model) must not be resumed into it.
+	if ws := o.WarmStart; ws != nil {
+		fmt.Fprintf(h, "warm=%d,%d|", ws.K(), ws.Dims())
+		hashFloats(h, ws.Alpha)
+		hashFloats(h, ws.Prototypes.Data())
+	} else {
+		fmt.Fprint(h, "warm=none|")
+	}
 	m, n := x.Dims()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(m)<<32|uint64(uint32(n)))
 	h.Write(buf[:])
-	for _, v := range x.Data() {
+	hashFloats(h, x.Data())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// hashFloats writes a float slice's exact bit patterns into h.
+func hashFloats(h io.Writer, xs []float64) {
+	var buf [8]byte
+	for _, v := range xs {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		h.Write(buf[:])
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // packModel flattens a fitted model's learnable parameters — α followed

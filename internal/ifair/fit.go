@@ -85,6 +85,12 @@ func FitContext(ctx context.Context, x *mat.Dense, opts Options) (*Model, error)
 			}
 			rng := rand.New(rand.NewSource(optimize.RestartSeed(opts.Seed, r)))
 			theta := initialTheta(x, opts, rng)
+			if r == 0 && opts.WarmStart != nil {
+				// Restart 0 continues from the warm-start model; the random
+				// draw above still happens so the other restarts' streams are
+				// untouched by the substitution.
+				theta = warmStartTheta(opts.WarmStart)
+			}
 			// Drawn whether or not SGD runs, so the initialisation stream
 			// is identical across optimiser choices.
 			shuffleSeed := rng.Int63()
@@ -177,6 +183,22 @@ func initialTheta(x *mat.Dense, opts Options, rng *rand.Rand) []float64 {
 			}
 		}
 	}
+	return theta
+}
+
+// warmStartTheta packs a fitted model back into the optimizer's
+// parameter vector: a_j = sqrt(α_j) inverts the α = a² reparameterisation
+// (α is non-negative by construction, so the root is always real), and
+// the prototype rows are copied verbatim. Evaluating the objective at
+// this point reproduces the warm-start model's behaviour exactly, so a
+// monotone optimizer can only improve on it.
+func warmStartTheta(ws *Model) []float64 {
+	n := ws.Dims()
+	theta := make([]float64, n+ws.K()*n)
+	for j, a := range ws.Alpha {
+		theta[j] = math.Sqrt(a)
+	}
+	copy(theta[n:], ws.Prototypes.Data())
 	return theta
 }
 

@@ -228,6 +228,15 @@ type Options struct {
 	// UseGradientDescent switches the optimiser from L-BFGS to plain
 	// gradient descent (ablation support).
 	UseGradientDescent bool
+	// WarmStart, when non-nil, seeds restart 0 from a previously fitted
+	// model instead of a random draw: α and the prototypes are copied
+	// into the initial parameter vector, so a refit on drifted data
+	// continues from the served representation rather than from scratch.
+	// The remaining Restarts−1 restarts stay random, so a warm start can
+	// only improve the best-of-N outcome. The model must match K and the
+	// data's column count. Its P/TakeRoot/Kernel are NOT copied — the
+	// refit trains under this Options' geometry.
+	WarmStart *Model
 	// Seed makes training deterministic.
 	Seed int64
 }
@@ -272,6 +281,17 @@ func (o *Options) fill(rows, cols int) error {
 	}
 	if o.BatchSize < 0 {
 		return errors.New("ifair: BatchSize must be non-negative")
+	}
+	if ws := o.WarmStart; ws != nil {
+		if err := ws.Validate(); err != nil {
+			return fmt.Errorf("ifair: WarmStart model: %w", err)
+		}
+		if ws.K() != o.K {
+			return fmt.Errorf("ifair: WarmStart model has K=%d prototypes, Options.K is %d", ws.K(), o.K)
+		}
+		if ws.Dims() != cols {
+			return fmt.Errorf("ifair: WarmStart model expects %d attributes, training data has %d", ws.Dims(), cols)
+		}
 	}
 	if o.BatchSize > 0 {
 		if o.ForceNumericalGradient {

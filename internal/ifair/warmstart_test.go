@@ -1,0 +1,129 @@
+package ifair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestWarmStartValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomData(rng, 20, 3)
+	donor, err := Fit(x, Options{K: 2, Lambda: 1, Seed: 1, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Fit(x, Options{K: 3, Lambda: 1, WarmStart: donor}); err == nil {
+		t.Fatal("K mismatch accepted")
+	}
+	wide := randomData(rng, 20, 4)
+	if _, err := Fit(wide, Options{K: 2, Lambda: 1, WarmStart: donor}); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	bad := &Model{Prototypes: mat.NewDense(2, 3), Alpha: []float64{1, -1, 1}, P: 2}
+	if _, err := Fit(x, Options{K: 2, Lambda: 1, WarmStart: bad}); err == nil {
+		t.Fatal("invalid donor model accepted")
+	}
+}
+
+// warmStartTheta must be the exact inverse of modelFromTheta's packing:
+// rebuilding a model from the packed vector reproduces the donor.
+func TestWarmStartThetaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomData(rng, 30, 4)
+	donor, err := Fit(x, Options{K: 3, Lambda: 1, Mu: 0.5, Seed: 7, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := modelFromTheta(warmStartTheta(donor), 4, Options{K: 3, P: donor.P, Kernel: donor.Kernel})
+	for j := range donor.Alpha {
+		if math.Abs(got.Alpha[j]-donor.Alpha[j]) > 1e-12 {
+			t.Fatalf("alpha[%d] = %g, want %g", j, got.Alpha[j], donor.Alpha[j])
+		}
+	}
+	for i, v := range donor.Prototypes.Data() {
+		if got.Prototypes.Data()[i] != v {
+			t.Fatalf("prototype datum %d = %g, want %g", i, got.Prototypes.Data()[i], v)
+		}
+	}
+}
+
+// Continuing training from a fitted model with a monotone optimizer must
+// never end up worse than the donor's loss on the same problem.
+func TestWarmStartNeverWorseThanDonor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomData(rng, 40, 3)
+	opts := Options{K: 3, Lambda: 1, Mu: 1, Seed: 11, MaxIterations: 8}
+	donor, err := Fit(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := opts
+	warm.WarmStart = donor
+	warm.MaxIterations = 20
+	refit, err := Fit(x, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.Loss > donor.Loss+1e-9 {
+		t.Fatalf("warm refit loss %g worse than donor loss %g", refit.Loss, donor.Loss)
+	}
+}
+
+func TestWarmStartDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomData(rng, 30, 3)
+	donor, err := Fit(x, Options{K: 2, Lambda: 1, Seed: 5, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 2, Lambda: 1, Mu: 1, Seed: 5, MaxIterations: 10, Restarts: 2, WarmStart: donor}
+	a, err := Fit(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Loss != b.Loss {
+		t.Fatalf("losses differ: %g vs %g", a.Loss, b.Loss)
+	}
+	for i, v := range a.Prototypes.Data() {
+		if b.Prototypes.Data()[i] != v {
+			t.Fatal("prototypes differ across identical warm-started fits")
+		}
+	}
+}
+
+// A warm start changes restart 0's trajectory, so checkpoints must not be
+// shared between warm and cold runs — or between different donors.
+func TestWarmStartChangesCheckpointFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randomData(rng, 20, 3)
+	cold := Options{K: 2, Lambda: 1}
+	donor, err := Fit(x, Options{K: 2, Lambda: 1, Seed: 9, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cold
+	warm.WarmStart = donor
+	if checkpointFingerprint(x, &cold) == checkpointFingerprint(x, &warm) {
+		t.Fatal("fingerprint ignores warm start")
+	}
+	donor2 := &Model{
+		Prototypes: mat.NewDenseData(donor.K(), donor.Dims(),
+			append([]float64(nil), donor.Prototypes.Data()...)),
+		Alpha: append([]float64(nil), donor.Alpha...),
+		P:     donor.P,
+	}
+	donor2.Prototypes.Data()[0] += 0.5
+	warm2 := cold
+	warm2.WarmStart = donor2
+	if checkpointFingerprint(x, &warm) == checkpointFingerprint(x, &warm2) {
+		t.Fatal("fingerprint ignores donor parameters")
+	}
+}

@@ -292,6 +292,32 @@ func (t *KDTree) search(node int, query []float64, exclude int, h *neighHeap) {
 	}
 }
 
+// Query returns the k nearest rows to an arbitrary query vector, which
+// need not be a row of the indexed matrix (no row is excluded). This is
+// the by-vector entry point the live drift monitor uses to estimate yNN
+// consistency on served requests: the tree is built once over a held
+// reference set and probed with incoming rows. Results order ascending
+// by (distance, index), the same tie-break as Neighbors.
+func (t *KDTree) Query(q []float64, k int) []int {
+	if len(q) != t.dims {
+		panic(fmt.Sprintf("knn: query dims %d, tree dims %d", len(q), t.dims))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("knn: negative k %d", k))
+	}
+	if m := t.data.Rows(); k > m {
+		k = m
+	}
+	if k == 0 {
+		return []int{}
+	}
+	h := &neighHeap{k: k}
+	t.search(t.root, q, -1, h)
+	out := make([]int, len(h.idx))
+	h.sortInto(out)
+	return out
+}
+
 // AllNeighbors returns the k-nearest-neighbour lists for every row.
 func (t *KDTree) AllNeighbors(k int) [][]int {
 	return t.AllNeighborsWorkers(k, 1)

@@ -2,6 +2,7 @@ package knn
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -283,4 +284,84 @@ func BenchmarkNeighbors(b *testing.B) {
 			tree.Neighbors(i%m, 10)
 		}
 	})
+}
+
+// Query (by-vector, no exclusion) must return exactly what a brute-force
+// scan ordered by (distance, index) returns, for queries both on and off
+// the indexed points.
+func TestKDTreeQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 1+rng.Intn(200), 1+rng.Intn(6)
+		data := mat.NewDense(m, n)
+		for i := range data.Data() {
+			data.Data()[i] = rng.NormFloat64()
+		}
+		tree := NewKDTree(data)
+		for probe := 0; probe < 10; probe++ {
+			q := make([]float64, n)
+			if probe%2 == 0 {
+				copy(q, data.Row(rng.Intn(m))) // exactly on a point
+			} else {
+				for j := range q {
+					q[j] = rng.NormFloat64() * 2
+				}
+			}
+			k := 1 + rng.Intn(m+2) // sometimes > m
+			got := tree.Query(q, k)
+			want := bruteQuery(data, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: len %d want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Query=%v brute=%v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// bruteQuery is the reference implementation: all rows sorted ascending
+// by (squared distance, index), truncated to k.
+func bruteQuery(data *mat.Dense, q []float64, k int) []int {
+	m := data.Rows()
+	idx := make([]int, m)
+	d := make([]float64, m)
+	for i := 0; i < m; i++ {
+		idx[i] = i
+		d[i] = mat.SqDist(q, data.Row(i))
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if d[ia] != d[ib] {
+			return d[ia] < d[ib]
+		}
+		return ia < ib
+	})
+	if k > m {
+		k = m
+	}
+	return idx[:k]
+}
+
+func TestKDTreeQueryEdgeCases(t *testing.T) {
+	data := mat.FromRows([][]float64{{0}, {1}, {2}})
+	tree := NewKDTree(data)
+	if got := tree.Query([]float64{0.6}, 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := tree.Query([]float64{0.6}, 2); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Query(0.6, 2) = %v, want [1 0]", got)
+	}
+	// Unlike Neighbors, a query equal to a row still returns that row.
+	if got := tree.Query([]float64{1}, 1); got[0] != 1 {
+		t.Fatalf("Query on a point = %v, want [1]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dims mismatch did not panic")
+		}
+	}()
+	tree.Query([]float64{0, 0}, 1)
 }

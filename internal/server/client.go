@@ -169,6 +169,32 @@ func (c *Client) Transform(ctx context.Context, model string, row []float64) ([]
 	return out.Rows[0], nil
 }
 
+// TransformKeyed sends one row through the transform endpoint with an
+// explicit canary routing key (the X-Canary-Key header) and returns the
+// transformed row plus the model version that served it. Under a canary
+// rollout the key — not the connection — decides the serving arm, so a
+// caller that reuses its key sees a consistent model version across
+// requests, retries and process restarts.
+func (c *Client) TransformKeyed(ctx context.Context, model, key string, row []float64) ([]float64, int, error) {
+	body, err := json.Marshal(rowsRequest{Rows: [][]float64{row}})
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr := http.Header{CanaryKeyHeader: []string{key}}
+	data, err := c.do(ctx, http.MethodPost, "/v1/models/"+model+"/transform", body, hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out transformResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, 0, err
+	}
+	if len(out.Rows) != 1 {
+		return nil, 0, fmt.Errorf("server returned %d rows for 1", len(out.Rows))
+	}
+	return out.Rows[0], out.Version, nil
+}
+
 // Probabilities sends one row through POST
 // /v1/models/{name}/probabilities and returns its prototype-membership
 // distribution.
@@ -192,7 +218,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	data, err := c.do(ctx, http.MethodPost, path, body)
+	data, err := c.do(ctx, http.MethodPost, path, body, nil)
 	if err != nil {
 		return err
 	}
@@ -208,19 +234,19 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 // server's Retry-After hint — the building block for proxies that relay
 // bodies without re-encoding them.
 func (c *Client) PostRaw(ctx context.Context, path string, body []byte) ([]byte, error) {
-	return c.do(ctx, http.MethodPost, path, body)
+	return c.do(ctx, http.MethodPost, path, body, nil)
 }
 
 // GetRaw fetches path under the client's retry policy and returns the
 // raw response body.
 func (c *Client) GetRaw(ctx context.Context, path string) ([]byte, error) {
-	return c.do(ctx, http.MethodGet, path, nil)
+	return c.do(ctx, http.MethodGet, path, nil, nil)
 }
 
 // do retries the round trip under the client's backoff policy until
 // success, a terminal status, retry exhaustion, or ctx expiry —
 // whichever is first.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+func (c *Client) do(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -228,7 +254,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 			c.stats.Retries++
 			c.mu.Unlock()
 		}
-		data, err := c.roundTrip(ctx, method, path, body)
+		data, err := c.roundTrip(ctx, method, path, body, extra)
 		if err == nil {
 			return data, nil
 		}
@@ -254,7 +280,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 // roundTrip performs one attempt, propagating the remaining ctx budget
 // in the deadline header so the server sheds work this caller would
 // abandon anyway.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -265,6 +291,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {

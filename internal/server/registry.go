@@ -87,12 +87,26 @@ type Registry struct {
 
 	mu     sync.RWMutex
 	models map[string][]*Entry // name → entries sorted by ascending version
+
+	// pins and quarantine are rollout state, deliberately kept OUTSIDE
+	// the models table so Reload (hot reload, Syncer re-installs) cannot
+	// disturb them: a pinned stable stays pinned and a quarantined
+	// version stays ineligible even when its file reappears on disk.
+	// Both are in-memory only — process-lifetime, not persisted.
+	pins       map[string]int          // name → pinned stable version
+	quarantine map[string]map[int]bool // name → versions barred from Get
 }
 
 // NewRegistry returns an empty registry rooted at dir. Call Reload to
 // populate it.
 func NewRegistry(dir string) *Registry {
-	return &Registry{dir: dir, failures: &Counter{}, models: make(map[string][]*Entry)}
+	return &Registry{
+		dir:        dir,
+		failures:   &Counter{},
+		models:     make(map[string][]*Entry),
+		pins:       make(map[string]int),
+		quarantine: make(map[string]map[int]bool),
+	}
 }
 
 // SetFailureCounter redirects the reload-failure count to c (typically a
@@ -208,7 +222,20 @@ func (r *Registry) Reload() (loaded, reused int, err error) {
 	return loaded, reused, errors.Join(errs...)
 }
 
-// Get returns the latest version of the named model.
+// Get returns the serving entry for the named model. Contrary to what
+// this method historically claimed ("the latest version"), the policy
+// is:
+//
+//  1. the pinned version, if one is set (via Pin, e.g. after a rollout
+//     guard promotes or rolls back) and still loaded;
+//  2. otherwise the newest non-quarantined version;
+//  3. otherwise — every loaded version quarantined — the newest version,
+//     because serving a quarantined model beats serving nothing.
+//
+// In particular, after a rollback (stable pinned, newer version
+// quarantined) Get keeps returning the stable entry even when the newer
+// version's file is still on disk and re-synced by server.Syncer: reload
+// rebuilds the models table but never touches pins or quarantine.
 func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -216,7 +243,83 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 	if len(entries) == 0 {
 		return nil, false
 	}
+	if v, ok := r.pins[name]; ok {
+		for _, e := range entries {
+			if e.Version == v {
+				return e, true
+			}
+		}
+		// The pinned file vanished from disk; fall through to the
+		// newest-eligible policy rather than serving nothing.
+	}
+	q := r.quarantine[name]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if !q[entries[i].Version] {
+			return entries[i], true
+		}
+	}
 	return entries[len(entries)-1], true
+}
+
+// Pin makes Get serve exactly the given version of name (the rollout
+// guard's notion of "stable"). Pinning survives Reload; pinning a
+// version that is not loaded makes Get fall back to the newest eligible
+// entry until the version appears.
+func (r *Registry) Pin(name string, version int) {
+	r.mu.Lock()
+	r.pins[name] = version
+	r.mu.Unlock()
+}
+
+// Unpin removes the pin for name, returning Get to newest-eligible.
+func (r *Registry) Unpin(name string) {
+	r.mu.Lock()
+	delete(r.pins, name)
+	r.mu.Unlock()
+}
+
+// Pinned reports the pinned version of name, if any.
+func (r *Registry) Pinned(name string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.pins[name]
+	return v, ok
+}
+
+// Quarantine bars a version of name from being served by Get or adopted
+// as a canary (a rolled-back version). Quarantine is in-memory and
+// survives Reload — a hot reload or Syncer re-install of the same file
+// cannot re-promote a rolled-back version; only a process restart or a
+// new version number can.
+func (r *Registry) Quarantine(name string, version int) {
+	r.mu.Lock()
+	if r.quarantine[name] == nil {
+		r.quarantine[name] = make(map[int]bool)
+	}
+	r.quarantine[name][version] = true
+	r.mu.Unlock()
+}
+
+// Quarantined reports whether the given version of name is quarantined.
+func (r *Registry) Quarantined(name string, version int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.quarantine[name][version]
+}
+
+// NewestEligible returns the newest loaded, non-quarantined version of
+// name — the rollout guard's canary candidate — ignoring any pin.
+func (r *Registry) NewestEligible(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	entries := r.models[name]
+	q := r.quarantine[name]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if !q[entries[i].Version] {
+			return entries[i], true
+		}
+	}
+	return nil, false
 }
 
 // GetVersion returns a specific version of the named model.

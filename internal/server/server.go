@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"runtime"
@@ -77,6 +79,14 @@ type Config struct {
 	// tolerance documented in internal/kernel of the float64 path.
 	// Training-side APIs are unaffected.
 	Float32 bool
+
+	// Rollout enables closed-loop canary serving: transform traffic is
+	// split between a pinned stable version and a canary by a
+	// deterministic hash of the request key, and the guard loop
+	// (RolloutManager.Run) auto-promotes or rolls back. nil disables
+	// rollout (every request serves the registry's newest version, the
+	// historical behaviour).
+	Rollout *RolloutConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -136,6 +146,7 @@ type Server struct {
 	batcher  *Batcher
 	limiter  *admission.Limiter
 	metrics  *Metrics
+	rollouts *RolloutManager // nil unless cfg.Rollout is set
 	syncCRCs crcCache
 	ready    atomic.Bool
 }
@@ -181,6 +192,9 @@ func New(cfg Config) (*Server, error) {
 		return float64(s.batcher.PendingRows())
 	})
 	s.registry.SetFailureCounter(s.metrics.Counter("registry_reload_failures"))
+	if cfg.Rollout != nil {
+		s.rollouts = NewRolloutManager(*cfg.Rollout, s.registry, s.metrics, cfg.ModelDir, cfg.Rollout.Logf)
+	}
 	if _, _, err := s.registry.Reload(); err != nil {
 		if s.registry.Len() == 0 {
 			return nil, fmt.Errorf("server: initial model load: %w", err)
@@ -203,6 +217,11 @@ func (s *Server) Batcher() *Batcher { return s.batcher }
 
 // Limiter exposes the admission controller (for tests and gauges).
 func (s *Server) Limiter() *admission.Limiter { return s.limiter }
+
+// Rollouts exposes the canary rollout manager (nil when Config.Rollout
+// is unset); cmd/ifair-server runs its guard loop alongside the
+// registry watch.
+func (s *Server) Rollouts() *RolloutManager { return s.rollouts }
 
 // Close flushes the micro-batcher and stops its flush workers. Call
 // after the HTTP server has drained.
@@ -362,8 +381,11 @@ func (s *Server) resolveEntry(r *http.Request) (*Entry, error) {
 	return e, nil
 }
 
-// decodeRows parses and bounds-checks the request body.
-func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, entry *Entry) (*rowsRequest, error) {
+// decodeRows parses and bounds-checks the request body. Width checks
+// against a concrete model version happen separately in checkRowWidths:
+// under canary rollout the serving version is chosen per request key,
+// after decoding.
+func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request) (*rowsRequest, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -381,23 +403,85 @@ func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, entry *Entry
 	if len(req.Rows) > s.cfg.MaxRows {
 		return nil, badRequest("request has %d rows, limit is %d", len(req.Rows), s.cfg.MaxRows)
 	}
-	want := entry.Model.Dims()
-	for i, row := range req.Rows {
-		if len(row) != want {
-			return nil, badRequest("row %d has %d attributes, model %s expects %d", i, len(row), entry.Key(), want)
-		}
-	}
 	return &req, nil
 }
 
+// checkRowWidths validates every row against the resolved model version.
+func checkRowWidths(req *rowsRequest, entry *Entry) error {
+	want := entry.Model.Dims()
+	for i, row := range req.Rows {
+		if len(row) != want {
+			return badRequest("row %d has %d attributes, model %s expects %d", i, len(row), entry.Key(), want)
+		}
+	}
+	return nil
+}
+
+// CanaryKeyHeader names the request header whose value, when present,
+// is the traffic-split key for canary routing. Without it the key is
+// derived from the first row's bits, so identical inputs still route
+// consistently (and across process restarts).
+const CanaryKeyHeader = "X-Canary-Key"
+
+// canaryKey extracts the traffic-split key for a request.
+func canaryKey(r *http.Request, row []float64) string {
+	if k := r.Header.Get(CanaryKeyHeader); k != "" {
+		return k
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range row {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		_, _ = h.Write(b[:])
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// routeTransform resolves the serving entry for a transform request:
+// explicit ?version=N bypasses rollout; otherwise an active rollout
+// splits traffic by request key, and without one the registry's serving
+// policy applies. The returned Rollout is non-nil when the request
+// should be recorded against an arm.
+func (s *Server) routeTransform(r *http.Request, req *rowsRequest) (*Entry, *Rollout, error) {
+	if s.rollouts == nil || r.URL.Query().Get("version") != "" {
+		e, err := s.resolveEntry(r)
+		return e, nil, err
+	}
+	name := r.PathValue("name")
+	ro := s.rollouts.For(name)
+	if ro == nil {
+		e, err := s.resolveEntry(r)
+		return e, nil, err
+	}
+	entry, ok := ro.Route(canaryKey(r, req.Rows[0]))
+	if !ok {
+		return nil, nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("model %q not found", name)}
+	}
+	return entry, ro, nil
+}
+
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
-	entry, err := s.resolveEntry(r)
+	req, err := s.decodeRows(w, r)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	req, err := s.decodeRows(w, r, entry)
+	entry, ro, err := s.routeTransform(r, req)
 	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	start := time.Now()
+	// record feeds the rollout's live statistics: per-arm counters and
+	// latency, input drift, and (sampled) the live consistency of the
+	// served (input, transform) pair.
+	record := func(isErr bool, xt []float64) {
+		if ro != nil {
+			ro.Record(entry.Version, time.Since(start), isErr, req.Rows[0], xt)
+		}
+	}
+	if err := checkRowWidths(req, entry); err != nil {
+		record(true, nil)
 		s.writeError(w, err)
 		return
 	}
@@ -411,10 +495,12 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		// flush may still write it.
 		dst := rowScratch.Get(dims)
 		if err := s.batcher.TransformRowInto(r.Context(), entry, dst, req.Rows[0]); err != nil {
+			record(true, nil)
 			s.writeError(w, err)
 			return
 		}
 		out[0] = dst
+		record(false, dst)
 		writeJSON(w, http.StatusOK, transformResponse{Model: entry.Name, Version: entry.Version, Rows: out})
 		rowScratch.Put(dst)
 		return
@@ -422,6 +508,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 
 	kern, err := entry.Kernel()
 	if err != nil {
+		record(true, nil)
 		s.writeError(w, err)
 		return
 	}
@@ -436,12 +523,14 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := kern.TransformInto(xt, x, s.cfg.Workers); err != nil {
 		rowScratch.Put(backing)
+		record(true, nil)
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
 	for i := range out {
 		out[i] = xt.Row(i)
 	}
+	record(false, xt.Row(0))
 	writeJSON(w, http.StatusOK, transformResponse{Model: entry.Name, Version: entry.Version, Rows: out})
 	rowScratch.Put(backing)
 }
@@ -452,8 +541,12 @@ func (s *Server) handleProbabilities(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	req, err := s.decodeRows(w, r, entry)
+	req, err := s.decodeRows(w, r)
 	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := checkRowWidths(req, entry); err != nil {
 		s.writeError(w, err)
 		return
 	}

@@ -4,7 +4,7 @@ GO ?= go
 MODELS ?= artifacts/models
 ADDR   ?= :8080
 
-.PHONY: all build test test-workers test-faults test-overload test-router test-rollout loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare bench-fit-compare experiments examples serve fmt vet clean
+.PHONY: all build test test-workers test-faults test-overload test-router test-rollout test-ingest loadgen loadgen-chaos race fuzz cover bench bench-fit bench-serve bench-compare bench-fit-compare experiments examples serve fmt vet clean
 
 # vet, race, the widened worker sweep, the crash-safety fault sweep, the
 # overload soak, the router replica-kill soak and the closed-loop rollout
@@ -15,7 +15,7 @@ ADDR   ?= :8080
 # bench-compare and bench-fit-compare are soft gates (leading -): a noisy
 # box must not fail the build, but allocation and training-loss
 # regressions get printed.
-all: build vet test race test-workers test-faults test-overload test-router test-rollout
+all: build vet test race test-workers test-faults test-overload test-router test-rollout test-ingest
 	-$(MAKE) bench-compare
 	-$(MAKE) bench-fit-compare
 
@@ -66,6 +66,17 @@ test-rollout:
 		./internal/server/
 	$(GO) test -race ./internal/drift/ ./internal/stats/
 
+# Widened ingest chaos soak, under the race detector: the kill/resume
+# property sweep over every input row and every shard seal (in-process
+# hooks plus filesystem fault fuses), the corrupt-shard healing suite,
+# and the CLI-level soak that SIGTERMs a real ifair -ingest process at
+# several seal points (with a double kill) and byte-compares the store,
+# model and drift profile against an uninterrupted run.
+test-ingest:
+	IFAIR_TEST_INGEST=1 $(GO) test -race ./internal/ingest/ \
+		-run 'TestIngest|TestShard|TestManifest'
+	IFAIR_TEST_INGEST=1 $(GO) test -race ./cmd/ifair/ -run 'TestSIGTERMIngestResume'
+
 # Closed-loop load-generator smoke test: spins an in-process server over
 # a synthetic model, drives it with bursts for 2 seconds, and fails on
 # zero goodput.
@@ -82,13 +93,15 @@ loadgen-chaos:
 race:
 	$(GO) test -race ./...
 
-# Fuzz the internal/par chunk planner (partition cover/disjointness) and
-# the checkpoint decoder (arbitrary bytes never panic, corruption is
-# always reported as ErrCorrupt).
+# Fuzz the internal/par chunk planner (partition cover/disjointness),
+# the checkpoint decoder and the ingest shard decoder (arbitrary bytes
+# never panic, corruption is always reported as ErrCorrupt, accepted
+# frames re-encode canonically).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzChunkCover -fuzztime=$(FUZZTIME) ./internal/par/
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run='^$$' -fuzz=FuzzShardDecode -fuzztime=$(FUZZTIME) ./internal/ingest/
 
 cover:
 	$(GO) test -cover ./...
@@ -101,7 +114,7 @@ bench:
 # (m=10k full-batch L-BFGS reference, m=10k/100k neighbor-pair SGD; add
 # IFAIR_BENCH_1M=1 for the m=1e6 variant).
 bench-fit:
-	$(GO) test -run='^$$' -bench='FitParallelRestarts|FitLarge' -benchmem -timeout 30m . \
+	$(GO) test -run='^$$' -bench='FitParallelRestarts|FitLarge|Ingest' -benchmem -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
 
 # Serving-path benchmarks (fused compute kernel, float32 variant,
@@ -124,7 +137,7 @@ bench-compare:
 # and final_loss drift fail the gate (upward drift only; wall-time is
 # not gated because it is machine-dependent).
 bench-fit-compare:
-	$(GO) test -run='^$$' -bench='FitLarge' -benchtime=1x -benchmem -timeout 30m . \
+	$(GO) test -run='^$$' -bench='FitLarge|Ingest' -benchtime=1x -benchmem -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_fit.json -gate allocs/op,final_loss
 
 # Regenerate every table and figure (trimmed grid; add FULL=1 for the

@@ -9,17 +9,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/ifair"
+	"repro/internal/ingest"
 	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/pipeline"
@@ -458,6 +462,48 @@ func BenchmarkFitLarge(b *testing.B) {
 			b.ReportMetric(loss, "final_loss")
 		})
 	}
+}
+
+// ingestBenchCSV builds an in-memory CSV: 4 numeric features plus a
+// boolean label, with ~2% defective rows so the quarantine path is part
+// of what is measured.
+func ingestBenchCSV(rows int) []byte {
+	rng := rand.New(rand.NewSource(17))
+	var sb strings.Builder
+	sb.Grow(rows * 48)
+	sb.WriteString("a,b,c,d,label\n")
+	for i := 0; i < rows; i++ {
+		if i%50 == 49 {
+			sb.WriteString("garbage,1,2,3,true\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "%.6f,%.6f,%.6f,%.6f,%t\n",
+			rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), i%3 == 0)
+	}
+	return []byte(sb.String())
+}
+
+// BenchmarkIngest measures the streaming CSV→shard pipeline end to end —
+// parse, validate, quarantine, one-hot encode, CRC-frame, fsync, manifest
+// commit — and archives rows/s plus allocation churn in BENCH_fit.json
+// (gated by make bench-fit-compare).
+func BenchmarkIngest(b *testing.B) {
+	const rows = 50_000
+	input := ingestBenchCSV(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := ingest.Run(context.Background(), bytes.NewReader(input), ingest.Config{
+			Dir:        b.TempDir(),
+			Schema:     ingest.Schema{ProtectedIndex: []int{3}, Outcome: "label"},
+			MaxBadRows: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 // BenchmarkTransform measures the pure inference cost of mapping records

@@ -8,6 +8,11 @@
 //	datagen -dataset compas -out compas.csv
 //	datagen -dataset all -dir ./data -seed 7
 //	datagen -dataset synthetic -records 1000000 -out big.csv
+//	datagen -dataset synthetic -records 5000 -dirty-rate 0.02 -out dirty.csv
+//
+// -dirty-rate corrupts a seeded fraction of the exported data rows (wrong
+// arity, non-numeric garbage, NaN/Inf, bad outcome) to exercise the
+// ingest pipeline's quarantine path with realistic defects.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -29,6 +35,7 @@ func main() {
 		dir     = flag.String("dir", ".", "output directory when -dataset all")
 		seed    = flag.Int64("seed", 42, "random seed")
 		records = flag.Int("records", 0, "override the record count (synthetic defaults to 100; million-row exports feed the scale benchmarks)")
+		dirty   = flag.Float64("dirty-rate", 0, "fraction of data rows to corrupt (seeded; wrong arity, garbage cells, NaN/Inf, bad outcomes)")
 	)
 	flag.Parse()
 
@@ -36,7 +43,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen: specify -dataset (compas, census, credit, xing, airbnb, synthetic, all)")
 		os.Exit(2)
 	}
-	if err := run(*name, *out, *dir, *seed, *records); err != nil {
+	if *dirty < 0 || *dirty > 1 {
+		fmt.Fprintln(os.Stderr, "datagen: -dirty-rate must be in [0, 1]")
+		os.Exit(2)
+	}
+	if err := run(*name, *out, *dir, *seed, *records, *dirty); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
@@ -60,12 +71,12 @@ func generators(seed int64, records int) map[string]func() *dataset.Dataset {
 	}
 }
 
-func run(name, out, dir string, seed int64, records int) error {
+func run(name, out, dir string, seed int64, records int, dirty float64) error {
 	gens := generators(seed, records)
 	if name == "all" {
 		for dsName, gen := range gens {
 			path := filepath.Join(dir, dsName+".csv")
-			if err := exportTo(path, gen()); err != nil {
+			if err := exportTo(path, gen(), dirty, seed); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
@@ -78,25 +89,46 @@ func run(name, out, dir string, seed int64, records int) error {
 	}
 	ds := gen()
 	if out == "" {
-		return export(os.Stdout, ds)
+		return export(os.Stdout, ds, dirty, seed)
 	}
-	if err := exportTo(out, ds); err != nil {
+	if err := exportTo(out, ds, dirty, seed); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d records, %d features)\n", out, ds.Rows(), ds.Cols())
 	return nil
 }
 
-func exportTo(path string, ds *dataset.Dataset) error {
+func exportTo(path string, ds *dataset.Dataset, dirty float64, seed int64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return export(f, ds)
+	return export(f, ds, dirty, seed)
 }
 
-func export(w io.Writer, ds *dataset.Dataset) error {
+// corruptRow applies one seeded defect to an already-formatted CSV row.
+// The palette mirrors what real feeds produce: truncated and over-long
+// records, unparseable tokens, non-finite numerics and invalid outcomes.
+func corruptRow(rng *rand.Rand, row []string, outcomeIdx int) []string {
+	switch rng.Intn(6) {
+	case 0: // wrong arity: cell dropped
+		return row[:len(row)-1]
+	case 1: // wrong arity: stray extra cell
+		return append(row, "extra")
+	case 2: // non-numeric garbage in a feature column
+		row[rng.Intn(outcomeIdx)] = "garbage"
+	case 3:
+		row[rng.Intn(outcomeIdx)] = "NaN"
+	case 4:
+		row[rng.Intn(outcomeIdx)] = "+Inf"
+	case 5: // outcome neither boolean nor numeric
+		row[outcomeIdx] = "maybe"
+	}
+	return row
+}
+
+func export(w io.Writer, ds *dataset.Dataset, dirty float64, seed int64) error {
 	cw := csv.NewWriter(w)
 	header := append([]string(nil), ds.FeatureNames...)
 	outcomeCol := "label"
@@ -119,6 +151,14 @@ func export(w io.Writer, ds *dataset.Dataset) error {
 		}
 	}
 
+	// Corruption draws come from their own rng so the clean export of the
+	// same seed stays byte-identical apart from the corrupted rows.
+	var rng *rand.Rand
+	if dirty > 0 {
+		rng = rand.New(rand.NewSource(seed ^ 0x64697274)) // "dirt"
+	}
+	outcomeIdx := len(ds.FeatureNames)
+
 	row := make([]string, 0, len(header))
 	for i := 0; i < ds.Rows(); i++ {
 		row = row[:0]
@@ -134,7 +174,11 @@ func export(w io.Writer, ds *dataset.Dataset) error {
 		if ds.Task == dataset.Ranking {
 			row = append(row, queryOf[i])
 		}
-		if err := cw.Write(row); err != nil {
+		out := row
+		if rng != nil && rng.Float64() < dirty {
+			out = corruptRow(rng, row, outcomeIdx)
+		}
+		if err := cw.Write(out); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ingest"
+)
+
+func exportSynthetic(t *testing.T, dirty float64, seed int64) []byte {
+	t.Helper()
+	ds := dataset.SyntheticMixture(dataset.VariantRandom, 200, seed)
+	var buf bytes.Buffer
+	if err := export(&buf, ds, dirty, seed); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestExportDirtyRateIsSeededAndBounded: the corrupted export is a pure
+// function of the seed, and only -dirty-rate-many rows (in expectation)
+// differ from the clean export.
+func TestExportDirtyRateIsSeededAndBounded(t *testing.T) {
+	clean := exportSynthetic(t, 0, 7)
+	dirty := exportSynthetic(t, 0.2, 7)
+	if bytes.Equal(clean, dirty) {
+		t.Fatal("dirty export identical to clean export")
+	}
+	if !bytes.Equal(dirty, exportSynthetic(t, 0.2, 7)) {
+		t.Fatal("same seed produced different dirty exports")
+	}
+
+	cleanLines := strings.Split(strings.TrimRight(string(clean), "\n"), "\n")
+	dirtyLines := strings.Split(strings.TrimRight(string(dirty), "\n"), "\n")
+	if len(dirtyLines) != len(cleanLines) {
+		t.Fatalf("dirty export has %d lines, clean has %d", len(dirtyLines), len(cleanLines))
+	}
+	changed := 0
+	for i := range cleanLines {
+		if cleanLines[i] != dirtyLines[i] {
+			changed++
+		}
+	}
+	if changed == 0 || changed > len(cleanLines)/2 {
+		t.Fatalf("%d of %d lines corrupted at rate 0.2", changed, len(cleanLines))
+	}
+}
+
+// TestDirtyExportFeedsQuarantine: every corrupted row must be caught by
+// the ingest pipeline — quarantined, never encoded — and the clean rows
+// must all survive.
+func TestDirtyExportFeedsQuarantine(t *testing.T) {
+	clean := exportSynthetic(t, 0, 11)
+	dirty := exportSynthetic(t, 0.25, 11)
+	cleanLines := strings.Split(strings.TrimRight(string(clean), "\n"), "\n")
+	dirtyLines := strings.Split(strings.TrimRight(string(dirty), "\n"), "\n")
+	corrupted := uint64(0)
+	for i := range cleanLines {
+		if cleanLines[i] != dirtyLines[i] {
+			corrupted++
+		}
+	}
+
+	res, err := ingest.Run(context.Background(), bytes.NewReader(dirty), ingest.Config{
+		Dir:        t.TempDir(),
+		Schema:     ingest.Schema{Outcome: "label"},
+		ShardRows:  32,
+		MaxBadRows: -1,
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.BadRows != corrupted {
+		t.Fatalf("ingest quarantined %d rows, corruption changed %d lines", res.BadRows, corrupted)
+	}
+	if res.GoodRows+res.BadRows != res.InputRows || res.InputRows != uint64(len(cleanLines)-1) {
+		t.Fatalf("counters %d good + %d bad != %d input (want %d rows)",
+			res.GoodRows, res.BadRows, res.InputRows, len(cleanLines)-1)
+	}
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// writeDirtyCSV emits a numeric CSV with a seeded sprinkle of defective
+// rows — the input for the ingest chaos soak.
+func writeDirtyCSV(t *testing.T, path string, rows int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(13))
+	var sb strings.Builder
+	sb.WriteString("a,b,c,d\n")
+	for i := 0; i < rows; i++ {
+		if i%41 == 40 {
+			switch i % 3 {
+			case 0:
+				sb.WriteString("1,2,3\n") // short
+			case 1:
+				sb.WriteString("garbage,2,3,4\n")
+			default:
+				sb.WriteString("NaN,2,3,4\n")
+			}
+			continue
+		}
+		fmt.Fprintf(&sb, "%.9f,%.9f,%.9f,%.9f\n",
+			rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readStore loads every file of a shard store keyed by base name.
+func readStore(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read store %s: %v", dir, err)
+	}
+	store := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		store[e.Name()] = b
+	}
+	return store
+}
+
+func diffStores(t *testing.T, want, got map[string][]byte) {
+	t.Helper()
+	var names []string
+	for n := range want {
+		names = append(names, n)
+	}
+	for n := range got {
+		if _, ok := want[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w, g := want[n], got[n]
+		switch {
+		case w == nil:
+			t.Errorf("store has unexpected file %s", n)
+		case g == nil:
+			t.Errorf("store is missing file %s", n)
+		case !bytes.Equal(w, g):
+			t.Errorf("store file %s differs (%d vs %d bytes)", n, len(w), len(g))
+		}
+	}
+}
+
+// TestSIGTERMIngestResume is the end-to-end ingest chaos soak: a real
+// ifair process is SIGTERMed mid-ingest (after a chosen number of shard
+// seals), rerun with -resume-ingest, and the final shard store, trained
+// model and drift profile must be byte-identical to an uninterrupted
+// run's. IFAIR_TEST_INGEST=1 widens the sweep to several kill points and
+// a double-kill run.
+func TestSIGTERMIngestResume(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "dirty.csv")
+	writeDirtyCSV(t, input, 4000)
+
+	args := func(store, model, profile string) []string {
+		return []string{
+			"-input", input, "-protected", "3",
+			"-ingest", store, "-shard-rows", "64", "-max-bad-rows", "-1",
+			"-fairness", "neighbor", "-k", "3", "-restarts", "1",
+			"-maxiter", "25", "-seed", "9",
+			"-save", model, "-save-profile", profile,
+			"-out", filepath.Join(dir, "out.csv"),
+		}
+	}
+
+	// Uninterrupted reference run.
+	refStore := filepath.Join(dir, "store-ref")
+	refModel := filepath.Join(dir, "ref.json")
+	refProfile := filepath.Join(dir, "ref.profile")
+	cmd, stderr := runCLI(t, args(refStore, refModel, refProfile)...)
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("reference run: %v\nstderr:\n%s", err, stderr)
+	}
+	ref := readStore(t, refStore)
+	refModelBytes, err := os.ReadFile(refModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProfileBytes, err := os.ReadFile(refProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killPoints := []int{2}
+	if os.Getenv("IFAIR_TEST_INGEST") == "1" {
+		killPoints = []int{1, 3, 10, 30}
+	}
+
+	for _, seals := range killPoints {
+		t.Run(fmt.Sprintf("kill_after_%d_seals", seals), func(t *testing.T) {
+			store := filepath.Join(dir, fmt.Sprintf("store-%d", seals))
+			model := filepath.Join(dir, fmt.Sprintf("model-%d.json", seals))
+			profile := filepath.Join(dir, fmt.Sprintf("profile-%d.profile", seals))
+
+			killMidIngest(t, args(store, model, profile), seals)
+			if os.Getenv("IFAIR_TEST_INGEST") == "1" && seals > 1 {
+				// Double kill: interrupt the resume too, at an earlier
+				// point of what remains.
+				killMidIngest(t, append(args(store, model, profile), "-resume-ingest"), 1)
+			}
+
+			resumeArgs := append(args(store, model, profile), "-resume-ingest")
+			cmd, stderr := runCLI(t, resumeArgs...)
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("resumed run: %v\nstderr:\n%s", err, stderr)
+			}
+			diffStores(t, ref, readStore(t, store))
+			gotModel, err := os.ReadFile(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refModelBytes, gotModel) {
+				t.Fatal("resumed model differs from uninterrupted reference")
+			}
+			gotProfile, err := os.ReadFile(profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refProfileBytes, gotProfile) {
+				t.Fatal("resumed drift profile differs from uninterrupted reference")
+			}
+		})
+	}
+}
+
+// killMidIngest starts the CLI and SIGTERMs it after `seals` "sealed"
+// lines appear on stderr. If the run finishes before the signal lands
+// that is fine — the resume then verifies a complete store instead.
+func killMidIngest(t *testing.T, cliArgs []string, seals int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], cliArgs...)
+	cmd.Env = append(os.Environ(), "IFAIR_CLI_MAIN=1")
+	progress, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sawSeals := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(progress)
+		n := 0
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "sealed") {
+				if n++; n == seals {
+					close(sawSeals)
+				}
+			}
+		}
+	}()
+	select {
+	case <-sawSeals:
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("never saw %d seal notices before the timeout", seals)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Logf("run finished before SIGTERM landed after %d seals", seals)
+	}
+}

@@ -10,6 +10,7 @@
 //	ifair -input big.csv -fairness neighbor -batch 1024 -epochs 20 -out fair.csv
 //	ifair -dataset credit -save models/credit@v1.json -save-profile models/credit.profile
 //	ifair -dataset credit -warm-start models/credit@v1.json -save models/credit@v2.json
+//	ifair -input dirty.csv -ingest store/ -max-bad-rows 100 -out fair.csv
 //
 // Large datasets train with -fairness neighbor (fairness pairs drawn
 // from each record's nearest neighbours on the non-protected columns)
@@ -18,6 +19,15 @@
 //
 // CSV input must have a header row and numeric cells; -protected lists
 // zero-based column indices of protected attributes.
+//
+// With -ingest, the input CSV is streamed through the robust ingestion
+// pipeline (internal/ingest) into a durable shard store: rows are
+// validated (arity, parseability, finiteness), defective rows are
+// quarantined with row-numbered reasons under the -max-bad-rows budget,
+// and training reads the CRC-verified shards instead of the raw file. A
+// killed ingest continues with -resume-ingest and yields a byte-identical
+// store; -save-profile builds its drift profile during the same single
+// ingest pass.
 //
 // With -checkpoint, training state is snapshotted atomically to the given
 // directory; if the process is killed (SIGINT/SIGTERM) or crashes, rerunning
@@ -33,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,6 +57,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/drift"
 	"repro/internal/ifair"
+	"repro/internal/ingest"
 	"repro/internal/mat"
 	"repro/internal/optimize"
 	"repro/internal/stats"
@@ -87,12 +100,37 @@ func run() error {
 		ckptDir   = flag.String("checkpoint", "", "directory for crash-safe training snapshots (enables checkpointing)")
 		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot at least every N optimizer iterations")
 		resume    = flag.Bool("resume", false, "require the checkpoint to match this run (error on mismatch instead of starting fresh)")
+		ingestDir = flag.String("ingest", "", "shard-store directory: stream -input through the robust ingest pipeline and train from the store")
+		shardRows = flag.Int("shard-rows", ingest.DefaultShardRows, "rows per shard (with -ingest)")
+		maxBad    = flag.Int("max-bad-rows", 0, "quarantine budget (with -ingest): fail once more than this many rows are defective; -1 = unlimited")
+		resumeIng = flag.Bool("resume-ingest", false, "continue an interrupted ingest in the -ingest directory from its last durable shard")
 	)
 	flag.Parse()
 
-	x, protCols, header, err := loadData(*dsName, *input, *protected, *seed)
-	if err != nil {
-		return err
+	if *ingestDir != "" {
+		switch {
+		case *input == "":
+			return fmt.Errorf("-ingest streams a CSV file; it requires -input")
+		case *dsName != "":
+			return fmt.Errorf("-ingest cannot be combined with -dataset")
+		case *loadModel != "":
+			return fmt.Errorf("-ingest trains from the shard store; it cannot be combined with -load")
+		}
+	} else if *resumeIng {
+		return fmt.Errorf("-resume-ingest requires -ingest")
+	}
+
+	var (
+		x        *mat.Dense
+		protCols []int
+		header   []string
+		err      error
+	)
+	if *ingestDir == "" {
+		x, protCols, header, err = loadData(*dsName, *input, *protected, *seed)
+		if err != nil {
+			return err
+		}
 	}
 
 	if *loadModel != "" && *warmStart != "" {
@@ -100,6 +138,7 @@ func run() error {
 	}
 
 	var model *ifair.Model
+	var ingProfile *drift.Profile
 	if *loadModel != "" {
 		// Same loading/validation path as the serving registry
 		// (internal/server): one source of truth for reading model files.
@@ -162,11 +201,20 @@ func run() error {
 			}
 			opts.Checkpoint = mgr
 		}
-		// SIGINT/SIGTERM cancel the fit; the engine stops every in-flight
-		// restart within one iteration.
+		// SIGINT/SIGTERM cancel the fit (and a -ingest scan); the engine
+		// stops every in-flight restart within one iteration.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		model, err = ifair.FitContext(ctx, x, opts)
+		if *ingestDir != "" {
+			model, x, header, ingProfile, err = ingestAndFit(ctx, *input, *protected, ingestOpts{
+				dir:       *ingestDir,
+				shardRows: *shardRows,
+				maxBad:    *maxBad,
+				resume:    *resumeIng,
+			}, opts, *saveProf != "", *profRows, *seed)
+		} else {
+			model, err = ifair.FitContext(ctx, x, opts)
+		}
 		if err != nil {
 			if mgr != nil && ctx.Err() != nil {
 				// Killed mid-training: flush a final snapshot so the next
@@ -201,7 +249,10 @@ func run() error {
 		// traffic against exactly this training distribution; place the
 		// file at server.ProfilePath(modelsDir, name) to arm the rollout
 		// guard for the model.
-		p := drift.NewProfile(x, 0, *profRows, *seed)
+		p := ingProfile // -ingest builds it during the ingest pass itself
+		if p == nil {
+			p = drift.NewProfile(x, 0, *profRows, *seed)
+		}
 		if err := drift.SaveProfile(*saveProf, p); err != nil {
 			return fmt.Errorf("save profile: %w", err)
 		}
@@ -307,6 +358,95 @@ func builtinDataset(name string, seed int64) (*dataset.Dataset, error) {
 	}
 }
 
+// ingestOpts carries the -ingest flag group.
+type ingestOpts struct {
+	dir       string
+	shardRows int
+	maxBad    int
+	resume    bool
+}
+
+// ingestAndFit streams the CSV at path through internal/ingest into a
+// durable shard store and trains from it: every row is validated,
+// defective rows are quarantined under the error budget, and the fit
+// reads CRC-verified shards with streaming (Welford) standardisation.
+// When wantProfile, the drift profile is accumulated by a RowObserver
+// during the same ingest pass. Returns the model, the standardised
+// training matrix, the encoded feature names and the profile (nil unless
+// requested).
+func ingestAndFit(ctx context.Context, path, protected string, ing ingestOpts, opts ifair.Options, wantProfile bool, profRows int, seed int64) (*ifair.Model, *mat.Dense, []string, *drift.Profile, error) {
+	protIdx, err := parseProtectedIndices(protected)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer f.Close()
+
+	var builder *drift.ProfileBuilder
+	cfg := ingest.Config{
+		Dir:        ing.dir,
+		Schema:     ingest.Schema{ProtectedIndex: protIdx},
+		ShardRows:  ing.shardRows,
+		MaxBadRows: ing.maxBad,
+		Resume:     ing.resume,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if wantProfile {
+		builder = drift.NewProfileBuilder(0, profRows, seed)
+		cfg.Observer = builder
+	}
+	res, err := ingest.Run(ctx, f, cfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "ingest: interrupted; durable shards are kept in %s — rerun with -resume-ingest to continue\n", ing.dir)
+		}
+		return nil, nil, nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "ingest: %d good row(s) in %d shard(s), %d quarantined (see %s)\n",
+		res.GoodRows, res.Shards, res.BadRows, filepath.Join(ing.dir, "quarantine.log"))
+
+	st, err := ingest.OpenStream(ing.dir, nil)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	opts.Protected = st.ProtectedCols()
+	model, x, err := ifair.FitStreamContext(ctx, st, opts)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	var prof *drift.Profile
+	if builder != nil {
+		means, stds := st.MeanStd()
+		if prof, err = builder.Build(means, stds); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	return model, x, st.FeatureNames(), prof, nil
+}
+
+// parseProtectedIndices parses the -protected flag's comma-separated
+// zero-based column indices.
+func parseProtectedIndices(protected string) ([]int, error) {
+	if protected == "" {
+		return nil, nil
+	}
+	var idx []int
+	for _, part := range strings.Split(protected, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("invalid protected index %q: %w", part, err)
+		}
+		idx = append(idx, i)
+	}
+	return idx, nil
+}
+
 // loadCSV reads a numeric CSV with a header row and standardises columns to
 // unit variance, matching the preprocessing of Sec. V-B.
 func loadCSV(path, protected string) (*mat.Dense, []int, []string, error) {
@@ -317,6 +457,7 @@ func loadCSV(path, protected string) (*mat.Dense, []int, []string, error) {
 	defer f.Close()
 
 	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // arity is checked per row, with row numbers
 	rows, err := r.ReadAll()
 	if err != nil {
 		return nil, nil, nil, err
@@ -335,6 +476,9 @@ func loadCSV(path, protected string) (*mat.Dense, []int, []string, error) {
 			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
 			if err != nil {
 				return nil, nil, nil, fmt.Errorf("%s: row %d column %q: %w", path, i+2, header[j], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, nil, fmt.Errorf("%s: row %d column %q: non-finite value %q", path, i+2, header[j], strings.TrimSpace(cell))
 			}
 			data[i][j] = v
 		}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/mat"
 	"repro/internal/stats"
@@ -67,6 +68,9 @@ func (e *Encoder) Encode(records []Record) (*mat.Dense, []int, []string, error) 
 				v, ok := rec.Num[src.spec.Name]
 				if !ok {
 					return nil, nil, nil, fmt.Errorf("dataset: record %d missing numeric feature %q", i, src.spec.Name)
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, nil, nil, fmt.Errorf("dataset: record %d has non-finite value %v for feature %q", i, v, src.spec.Name)
 				}
 				row[j] = v
 				continue

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/stats"
@@ -101,6 +102,21 @@ func TestEncodeMissingNumeric(t *testing.T) {
 	delete(recs[0].Num, "score")
 	if _, _, _, err := enc.Encode(recs); err == nil {
 		t.Fatal("expected error for missing numeric feature")
+	}
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	for _, poison := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		enc := testEncoder()
+		recs := testRecords()
+		recs[1].Num["score"] = poison
+		_, _, _, err := enc.Encode(recs)
+		if err == nil {
+			t.Fatalf("Encode accepted %v", poison)
+		}
+		if !strings.Contains(err.Error(), "record 1") {
+			t.Fatalf("error %q does not name the record", err)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -37,7 +38,11 @@ func LoadCSV(r io.Reader, schema CSVSchema) (*Dataset, error) {
 	if schema.Outcome == "" {
 		return nil, fmt.Errorf("dataset: CSVSchema.Outcome must name the outcome column")
 	}
-	records, err := csv.NewReader(r).ReadAll()
+	cr := csv.NewReader(r)
+	// Arity is validated per row below, so ragged rows fail with a
+	// row-numbered message instead of the csv package's ErrFieldCount.
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read csv: %w", err)
 	}
@@ -128,6 +133,12 @@ func LoadCSV(r io.Reader, schema CSVSchema) (*Dataset, error) {
 					v = 1
 				}
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// ParseFloat accepts "NaN" and "±Inf"; they would poison
+				// standardisation and every downstream distance, so they
+				// are rejected here with the row that carried them.
+				return nil, fmt.Errorf("dataset: row %d column %q: non-finite value %q", i+2, header[c], cell)
+			}
 			row[j] = v
 		}
 		rows[i] = row
@@ -144,6 +155,9 @@ func LoadCSV(r io.Reader, schema CSVSchema) (*Dataset, error) {
 			v, err := strconv.ParseFloat(strings.TrimSpace(rec[outcomeCol]), 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: row %d outcome: %w", i+2, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: row %d outcome: non-finite score %q", i+2, strings.TrimSpace(rec[outcomeCol]))
 			}
 			scores[i] = v
 		}

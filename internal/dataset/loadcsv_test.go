@@ -116,11 +116,43 @@ func TestLoadCSVErrors(t *testing.T) {
 		{"bad label", "a,l\n1,maybe\n", CSVSchema{Task: Classification, Outcome: "l"}},
 		{"unknown query", rankingCSV, CSVSchema{Task: Ranking, Outcome: "score", Query: "nope"}},
 		{"only outcome column", "l\ntrue\n", CSVSchema{Task: Classification, Outcome: "l"}},
+		{"NaN feature", "a,l\nNaN,true\n", CSVSchema{Task: Classification, Outcome: "l"}},
+		{"Inf feature", "a,l\n+Inf,true\n", CSVSchema{Task: Classification, Outcome: "l"}},
+		{"negative Inf feature", "a,l\n-inf,true\n", CSVSchema{Task: Classification, Outcome: "l"}},
+		{"NaN score outcome", "a,s\n1,NaN\n", CSVSchema{Task: Ranking, Outcome: "s"}},
+		{"ragged short row", "a,b,l\n1,2,true\n1,true\n", CSVSchema{Task: Classification, Outcome: "l"}},
+		{"ragged long row", "a,b,l\n1,2,true\n1,2,3,true\n", CSVSchema{Task: Classification, Outcome: "l"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			if _, err := LoadCSV(strings.NewReader(tc.csv), tc.schema); err == nil {
 				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+// TestLoadCSVErrorsCarryRowNumbers: a reported defect must name the
+// 1-based CSV line that carried it, so multi-thousand-row files are
+// debuggable.
+func TestLoadCSVErrorsCarryRowNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		want string
+	}{
+		{"ragged", "a,l\n1,true\n1\n", "row 3"},
+		{"non-finite", "a,l\n1,true\nNaN,true\n", "row 3"},
+		{"bad outcome", "a,l\n1,true\n1,maybe\n", "row 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadCSV(strings.NewReader(tc.csv), CSVSchema{Task: Classification, Outcome: "l"})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
 			}
 		})
 	}

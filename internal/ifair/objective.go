@@ -233,8 +233,11 @@ func buildNeighborPairs(x *mat.Dense, opts Options, rng *rand.Rand) []pair {
 	if k <= 0 {
 		k = DefaultNeighborK
 	}
-	neigh := knn.NewKDTree(nonProtectedMatrix(x, opts.Protected)).
-		AllNeighborsWorkers(k, opts.Workers)
+	tree := opts.prebuiltNeighbors
+	if tree == nil {
+		tree = knn.NewKDTree(nonProtectedMatrix(x, opts.Protected))
+	}
+	neigh := tree.AllNeighborsWorkers(k, opts.Workers)
 	pairs := make([]pair, 0, m*opts.PairSamples)
 	scratch := make([]int, k)
 	for i := 0; i < m; i++ {

@@ -1,0 +1,156 @@
+package ifair
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/knn"
+	"repro/internal/stats"
+)
+
+// streamTestStore ingests a deterministic clean CSV (two numeric
+// features, one protected categorical, a boolean label) into a temp
+// shard store and opens it.
+func streamTestStore(t *testing.T, rows, shardRows int) *ingest.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var sb strings.Builder
+	sb.WriteString("x1,x2,group,label\n")
+	for i := 0; i < rows; i++ {
+		group := "A"
+		if rng.Intn(2) == 1 {
+			group = "B"
+		}
+		fmt.Fprintf(&sb, "%.6f,%.6f,%s,%t\n", rng.NormFloat64(), 10+5*rng.NormFloat64(), group, rng.Intn(2) == 1)
+	}
+	dir := t.TempDir()
+	schema := ingest.Schema{
+		Features: []ingest.Column{
+			{Name: "x1"},
+			{Name: "x2"},
+			{Name: "group", Levels: []string{"A", "B"}, Protected: true},
+		},
+		Outcome: "label",
+	}
+	if _, err := ingest.Run(context.Background(), strings.NewReader(sb.String()), ingest.Config{
+		Dir: dir, Schema: schema, ShardRows: shardRows,
+	}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	st, err := ingest.OpenStream(dir, nil)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	return st
+}
+
+// TestFitStreamMatchesInMemoryFit is the acceptance bar for the streaming
+// path: fitting from the shard store (shard-sweep fill, sweep-built
+// neighbour index, CRC verification per shard) must land on the same
+// objective value as an in-memory fit over the same rows and the same
+// standardisation transform, to 1e-9 on clean data — the streaming
+// machinery introduces zero numerical drift. The standardisation moments
+// themselves are checked against the batch helpers in internal/ingest's
+// TestIngestClean.
+func TestFitStreamMatchesInMemoryFit(t *testing.T) {
+	st := streamTestStore(t, 90, 16)
+	opts := Options{
+		K: 3, Lambda: 1, Mu: 1,
+		Protected: st.ProtectedCols(),
+		Fairness:  NeighborFairness,
+		Seed:      7,
+	}
+
+	model, x, err := FitStream(st, opts)
+	if err != nil {
+		t.Fatalf("FitStream: %v", err)
+	}
+
+	matz, err := st.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	rows := make([][]float64, matz.X.Rows())
+	for i := range rows {
+		rows[i] = matz.X.Row(i) // aliases matz.X storage
+	}
+	means, stds := st.MeanStd()
+	stats.ApplyStandardize(rows, means, stds)
+	ref, err := Fit(matz.X, opts)
+	if err != nil {
+		t.Fatalf("in-memory Fit: %v", err)
+	}
+
+	// Same transform, different plumbing: the matrices are bit-identical.
+	if x.Rows() != matz.X.Rows() || x.Cols() != matz.X.Cols() {
+		t.Fatalf("matrix shape %dx%d, want %dx%d", x.Rows(), x.Cols(), matz.X.Rows(), matz.X.Cols())
+	}
+	for i, v := range x.Data() {
+		if v != matz.X.Data()[i] {
+			t.Fatalf("standardised cell %d: stream %v, in-memory %v", i, v, matz.X.Data()[i])
+		}
+	}
+	if model.Loss == 0 || ref.Loss == 0 {
+		t.Fatalf("degenerate losses: stream %v, ref %v", model.Loss, ref.Loss)
+	}
+	if diff := math.Abs(model.Loss - ref.Loss); diff > 1e-9*(1+math.Abs(ref.Loss)) {
+		t.Fatalf("streaming loss %v != in-memory loss %v (diff %g)", model.Loss, ref.Loss, diff)
+	}
+}
+
+// TestFitStreamEmptyStore: a store with zero good rows must surface
+// ErrNoData, not a panic or a degenerate fit.
+func TestFitStreamEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ingest.Run(context.Background(), strings.NewReader("a,b\n"), ingest.Config{Dir: dir}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	st, err := ingest.OpenStream(dir, nil)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	if _, _, err := FitStream(st, Options{K: 2, Lambda: 1}); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+// TestFitPrebuiltTreeBitIdentical: supplying a prebuilt kd-tree over the
+// non-protected subspace must not perturb a single bit of the fit — the
+// pair list, and therefore the whole deterministic optimisation, is
+// identical with and without it.
+func TestFitPrebuiltTreeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomData(rng, 120, 4)
+	opts := Options{
+		K: 3, Lambda: 1, Mu: 1, Protected: []int{3},
+		Fairness: NeighborFairness, Seed: 11,
+	}
+	plain, err := Fit(x, opts)
+	if err != nil {
+		t.Fatalf("plain fit: %v", err)
+	}
+	withTree := opts
+	withTree.prebuiltNeighbors = knn.NewKDTree(nonProtectedMatrix(x, opts.Protected))
+	pre, err := Fit(x, withTree)
+	if err != nil {
+		t.Fatalf("prebuilt fit: %v", err)
+	}
+	if plain.Loss != pre.Loss {
+		t.Fatalf("losses differ: %v vs %v", plain.Loss, pre.Loss)
+	}
+	for i := range plain.Alpha {
+		if plain.Alpha[i] != pre.Alpha[i] {
+			t.Fatalf("alpha[%d] differs: %v vs %v", i, plain.Alpha[i], pre.Alpha[i])
+		}
+	}
+	for i, v := range plain.Prototypes.Data() {
+		if pre.Prototypes.Data()[i] != v {
+			t.Fatalf("prototype cell %d differs: %v vs %v", i, v, pre.Prototypes.Data()[i])
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Column declares one raw CSV attribute. Numeric attributes leave Levels
+// nil; categorical attributes list their admissible levels, which are
+// unfolded into one binary column per level (one-hot encoding, matching
+// internal/dataset's Encoder). A cell of a numeric column may also be a
+// boolean literal (true/false, yes/no, t/f, y/n, 1/0), encoded as 0/1,
+// so CSVs exported by cmd/datagen ingest without edits.
+type Column struct {
+	Name      string
+	Levels    []string
+	Protected bool
+}
+
+// Schema describes the expected CSV layout. Two modes:
+//
+//   - Explicit: Features lists every expected column in header order.
+//     The header row must match the feature names exactly.
+//   - Inferred: Features is nil. Every header column becomes a numeric
+//     feature (boolish cells accepted as 0/1); ProtectedIndex names
+//     protected columns by zero-based header position.
+//
+// Outcome optionally names one column to extract as the per-record
+// outcome instead of a feature: a boolean label by default, a numeric
+// score when OutcomeScore is set.
+type Schema struct {
+	// Features declares the columns (explicit mode); nil infers an
+	// all-numeric schema from the header row.
+	Features []Column
+	// ProtectedIndex lists zero-based protected header positions
+	// (inferred mode only; ignored when Features is set).
+	ProtectedIndex []int
+	// Outcome names the outcome column ("" = no outcome; every column
+	// is a feature).
+	Outcome string
+	// OutcomeScore parses the outcome as a float64 score instead of a
+	// boolean label.
+	OutcomeScore bool
+}
+
+// colSrc maps one encoded output column back to its source: a header
+// position and, for categorical columns, the level this column flags.
+type colSrc struct {
+	col   int    // header position
+	name  string // encoded column name
+	level string // one-hot level; "" for numeric
+	prot  bool
+}
+
+// layout is a Schema resolved against a concrete header row: the encoded
+// column sources, the outcome position and the quarantine-facing arity.
+type layout struct {
+	srcs       []colSrc
+	names      []string
+	protCols   []int // encoded protected column indices
+	outcomeCol int   // header position, -1 when absent
+	arity      int   // expected cells per row (the header width)
+	levels     map[int][]string
+	hasLabel   bool
+	hasScore   bool
+}
+
+// resolve binds the schema to a header row, validating that every
+// declared column exists (explicit mode) or indexing the header as
+// numeric features (inferred mode).
+func (s *Schema) resolve(header []string) (*layout, error) {
+	l := &layout{outcomeCol: -1, arity: len(header), levels: map[int][]string{}}
+	trimmed := make([]string, len(header))
+	idx := make(map[string]int, len(header))
+	for i, h := range header {
+		trimmed[i] = strings.TrimSpace(h)
+		idx[trimmed[i]] = i
+	}
+	if s.Outcome != "" {
+		c, ok := idx[s.Outcome]
+		if !ok {
+			return nil, fmt.Errorf("ingest: outcome column %q not found in header", s.Outcome)
+		}
+		l.outcomeCol = c
+		l.hasLabel = !s.OutcomeScore
+		l.hasScore = s.OutcomeScore
+	}
+
+	if s.Features == nil {
+		// Inferred mode: every non-outcome column is a numeric feature.
+		isProt := map[int]bool{}
+		for _, p := range s.ProtectedIndex {
+			if p < 0 || p >= len(header) {
+				return nil, fmt.Errorf("ingest: protected index %d out of range for %d columns", p, len(header))
+			}
+			if p == l.outcomeCol {
+				return nil, fmt.Errorf("ingest: protected index %d is the outcome column", p)
+			}
+			isProt[p] = true
+		}
+		for i, name := range trimmed {
+			if i == l.outcomeCol {
+				continue
+			}
+			if isProt[i] {
+				l.protCols = append(l.protCols, len(l.srcs))
+			}
+			l.srcs = append(l.srcs, colSrc{col: i, name: name, prot: isProt[i]})
+			l.names = append(l.names, name)
+		}
+		if len(l.srcs) == 0 {
+			return nil, fmt.Errorf("ingest: no feature columns remain")
+		}
+		return l, nil
+	}
+
+	// Explicit mode: every declared feature must exist in the header.
+	for _, spec := range s.Features {
+		c, ok := idx[spec.Name]
+		if !ok {
+			return nil, fmt.Errorf("ingest: feature column %q not found in header", spec.Name)
+		}
+		if c == l.outcomeCol {
+			return nil, fmt.Errorf("ingest: feature column %q is also the outcome", spec.Name)
+		}
+		if spec.Levels == nil {
+			if spec.Protected {
+				l.protCols = append(l.protCols, len(l.srcs))
+			}
+			l.srcs = append(l.srcs, colSrc{col: c, name: spec.Name, prot: spec.Protected})
+			l.names = append(l.names, spec.Name)
+			continue
+		}
+		l.levels[c] = spec.Levels
+		for _, lvl := range spec.Levels {
+			if spec.Protected {
+				l.protCols = append(l.protCols, len(l.srcs))
+			}
+			l.srcs = append(l.srcs, colSrc{col: c, name: spec.Name + "=" + lvl, level: lvl, prot: spec.Protected})
+			l.names = append(l.names, spec.Name+"="+lvl)
+		}
+	}
+	if len(l.srcs) == 0 {
+		return nil, fmt.Errorf("ingest: schema declares no feature columns")
+	}
+	return l, nil
+}
+
+// cols returns the encoded output width.
+func (l *layout) cols() int { return len(l.srcs) }
+
+// encodeRow validates one raw CSV record against the layout and encodes
+// it into dst (len == cols()). A non-nil error describes why the row must
+// be quarantined: wrong arity, an unparseable cell, a non-finite value or
+// an unknown categorical level. dst is only meaningful on success.
+func (l *layout) encodeRow(rec []string, dst []float64) (label bool, score float64, protected bool, err error) {
+	if len(rec) != l.arity {
+		return false, 0, false, fmt.Errorf("has %d cells, header has %d", len(rec), l.arity)
+	}
+	// Validate categorical source cells once per column, not per level.
+	for c, levels := range l.levels {
+		cell := strings.TrimSpace(rec[c])
+		if !levelKnown(levels, cell) {
+			return false, 0, false, fmt.Errorf("column %d: unknown level %q", c, cell)
+		}
+	}
+	for j, src := range l.srcs {
+		cell := strings.TrimSpace(rec[src.col])
+		if src.level != "" {
+			if cell == src.level {
+				dst[j] = 1
+			} else {
+				dst[j] = 0
+			}
+			continue
+		}
+		v, verr := parseCell(cell)
+		if verr != nil {
+			return false, 0, false, fmt.Errorf("column %d (%s): %v", src.col, src.name, verr)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false, 0, false, fmt.Errorf("column %d (%s): non-finite value %q", src.col, src.name, cell)
+		}
+		dst[j] = v
+	}
+	if firstProt := l.firstProtected(); firstProt >= 0 {
+		protected = dst[firstProt] >= 0.5
+	}
+	if l.outcomeCol >= 0 {
+		cell := strings.TrimSpace(rec[l.outcomeCol])
+		if l.hasScore {
+			v, verr := strconv.ParseFloat(cell, 64)
+			if verr != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false, 0, false, fmt.Errorf("outcome: not a finite score: %q", cell)
+			}
+			score = v
+		} else {
+			b, berr := parseBoolish(cell)
+			if berr != nil {
+				return false, 0, false, fmt.Errorf("outcome: %v", berr)
+			}
+			label = b
+		}
+	}
+	return label, score, protected, nil
+}
+
+// firstProtected returns the first encoded protected column, -1 if none.
+func (l *layout) firstProtected() int {
+	if len(l.protCols) == 0 {
+		return -1
+	}
+	return l.protCols[0]
+}
+
+// parseCell parses a numeric cell, accepting boolean literals as 0/1.
+func parseCell(cell string) (float64, error) {
+	v, err := strconv.ParseFloat(cell, 64)
+	if err == nil {
+		return v, nil
+	}
+	b, berr := parseBoolish(cell)
+	if berr != nil {
+		return 0, fmt.Errorf("cannot parse %q as a number", cell)
+	}
+	if b {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// parseBoolish accepts true/false, t/f, 1/0 and yes/no (case-insensitive),
+// mirroring internal/dataset.
+func parseBoolish(s string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "true", "t", "1", "yes", "y":
+		return true, nil
+	case "false", "f", "0", "no", "n":
+		return false, nil
+	default:
+		return false, fmt.Errorf("cannot parse %q as a boolean", s)
+	}
+}
+
+func levelKnown(levels []string, lvl string) bool {
+	for _, l := range levels {
+		if l == lvl {
+			return true
+		}
+	}
+	return false
+}
+
+// fingerprint hashes the resolved layout: the encoded column sources and
+// outcome position. Two ingests may share a shard store only when their
+// layouts match, so a resume against a store written under a different
+// schema fails loudly instead of mixing encodings.
+func (l *layout) fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "arity=%d|outcome=%d|score=%t|", l.arity, l.outcomeCol, l.hasScore)
+	for _, src := range l.srcs {
+		fmt.Fprintf(&sb, "%d:%s:%s:%t|", src.col, src.name, src.level, src.prot)
+	}
+	return fmt.Sprintf("%016x", crcSum([]byte(sb.String())))
+}
